@@ -1,0 +1,50 @@
+"""Bench F3 — informative-feature transfer heatmap (Fig. 3, App. C.1).
+
+BackSelect masks test images down to their 10% most informative pixels per
+model; the heatmap reports every model's confidence toward the true class
+on every other model's informative pixels.
+"""
+
+import numpy as np
+
+from repro.experiments import backselect_heatmap_experiment
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_backselect_heatmap(benchmark, scale):
+    result = run_once(
+        benchmark,
+        lambda: backselect_heatmap_experiment(
+            "cifar", "resnet20", "wt", scale, n_pruned=4
+        ),
+    )
+
+    print()
+    header = ["pixels from \\ eval on"] + result.labels
+    rows = [
+        [result.labels[i]] + [f"{v:.2f}" for v in result.heatmap[i]]
+        for i in range(len(result.labels))
+    ]
+    print(format_table(header, rows, title="Fig. 3 analog — confidence heatmap"))
+
+    heat = result.heatmap
+    sep = result.separate_index()
+    parent = 0
+    pruned = list(range(1, sep))
+
+    # Paper findings:
+    # 1. Pruned networks' informative pixels transfer back to the parent far
+    #    better than the separate network's pixels do (the strongest signal
+    #    in Fig. 3's left column).
+    assert heat[pruned, parent].mean() > heat[sep, parent] + 0.05
+    # 2. The parent's pixels are at least as informative to its pruned
+    #    children as to the separately trained network (small-sample slack).
+    assert heat[parent, pruned].mean() > heat[parent, sep] - 0.03
+    # 3. Diagonal dominance: each model is confident on its own pixels.
+    diag = np.diag(heat)
+    assert (diag + 1e-6 >= heat.mean(axis=1) - 0.05).all()
+    # 4. Moderately pruned children transfer better than the collapsed
+    #    extreme checkpoint (the paper's PR=0.98 rows lose predictivity).
+    assert heat[pruned[0], parent] > heat[pruned[-1], parent]

@@ -1,0 +1,60 @@
+"""Bench F4 — functional similarity under input noise (Fig. 4, App. C.2).
+
+Matching-prediction rate and softmax ℓ₂ distance between pruned networks
+and their parent, versus a separately trained network, across noise levels.
+"""
+
+import numpy as np
+
+from repro.experiments import noise_similarity_experiment
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_noise_similarity_wt(benchmark, scale):
+    result = run_once(
+        benchmark, lambda: noise_similarity_experiment("cifar", "resnet20", "wt", scale)
+    )
+
+    print()
+    header = ["PR \\ eps"] + [f"{e:.1f}" for e in result.noise_levels]
+    rows = [
+        [f"{ratio:.2f}"] + [f"{m:.2f}" for m in result.match_rates[k]]
+        for k, ratio in enumerate(result.ratios)
+    ]
+    rows.append(["separate"] + [f"{m:.2f}" for m in result.separate_match_rates])
+    print(format_table(header, rows, title="Fig. 4a analog — matching predictions vs parent"))
+
+    rows_l2 = [
+        [f"{ratio:.2f}"] + [f"{d:.3f}" for d in result.l2_distances[k]]
+        for k, ratio in enumerate(result.ratios)
+    ]
+    rows_l2.append(["separate"] + [f"{d:.3f}" for d in result.separate_l2_distances])
+    print(format_table(header, rows_l2, title="Fig. 4b analog — softmax L2 distance"))
+
+    # Paper findings:
+    # 1. Moderately pruned networks match the parent far better than a
+    #    separately trained network, at every noise level.
+    moderate = result.match_rates[: len(result.ratios) // 2]
+    assert (moderate.mean(axis=0) > result.separate_match_rates + 0.05).all()
+    # 2. Similarity decreases as we prune more (first vs last checkpoint).
+    assert result.match_rates[0].mean() > result.match_rates[-1].mean()
+    # 3. The same ordering holds in the L2 metric (smaller = more similar).
+    assert (result.l2_distances[0] < result.separate_l2_distances).all()
+    # 4. Rates are proper probabilities.
+    assert (result.match_rates >= 0).all() and (result.match_rates <= 1).all()
+
+
+def test_bench_noise_similarity_ft(benchmark, scale):
+    result = run_once(
+        benchmark, lambda: noise_similarity_experiment("cifar", "resnet20", "ft", scale)
+    )
+    print(
+        f"\nFT: match@lowest-PR={result.match_rates[0].mean():.2f} "
+        f"match@highest-PR={result.match_rates[-1].mean():.2f} "
+        f"separate={result.separate_match_rates.mean():.2f}"
+    )
+    # Filter-pruned nets are also closer to the parent than a stranger at
+    # low prune ratios (App. C.2 extends Fig. 4 to FT).
+    assert result.match_rates[0].mean() > result.separate_match_rates.mean()

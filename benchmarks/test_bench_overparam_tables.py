@@ -1,0 +1,84 @@
+"""Bench T2/T9/T10 (+T12/T13) — overparameterization tables.
+
+Average and minimum prune potential on the train vs test distribution,
+for nominally trained networks (Tables 2/9/10) and robustly trained ones
+(Tables 12/13).  The paper's punchlines encoded as assertions:
+
+- nominal training: average potential drops under the corruption suite and
+  the *minimum* potential collapses toward 0;
+- robust training: the train/test-distribution gap largely closes and the
+  minimum test-distribution potential becomes nonzero;
+- WRN16-8 is the "genuinely overparameterized" family whose potential is
+  most stable under distribution shift.
+"""
+
+import numpy as np
+
+from repro.experiments import overparam_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_overparam_nominal(benchmark, scale):
+    rows, text = run_once(
+        benchmark,
+        lambda: overparam_table("cifar", ["resnet20", "wrn16_8"], ["wt", "ft"], scale),
+    )
+    print("\n" + text)
+
+    by_key = {(r.model_name, r.method_name): r for r in rows}
+    for (model, method), row in by_key.items():
+        # Minimum never exceeds average by construction.
+        assert row.test_dist.minimum_mean <= row.test_dist.average_mean + 1e-9
+        # 1. For weight pruning, the test-distribution average potential
+        #    drops below the nominal train-distribution potential.  (Filter
+        #    pruning can show the *inverse* because its nominal potential is
+        #    already low while saturating corruptions inflate per-corruption
+        #    potentials — the paper's DenseNet22 FT row shows the same.)
+        if method == "wt":
+            assert (
+                row.test_dist.average_mean <= row.train_dist.average_mean + 0.02
+            ), (model, method)
+
+    # 2. For the plain deep ResNet the minimum over corruptions collapses far
+    #    below the average (Tables 9/10 report 0% minima for it); WRN16-8 is
+    #    the paper's stable exception and is deliberately not asserted here.
+    rn_wt = by_key[("resnet20", "wt")]
+    assert rn_wt.test_dist.minimum_mean <= 0.6 * rn_wt.test_dist.average_mean + 1e-9
+
+    # 3. WRN16-8's relative drop under shift is no worse than ResNet20's
+    #    (the paper's "genuine overparameterization" contrast).
+    def drop(row):
+        return (row.train_dist.average_mean - row.test_dist.average_mean) / max(
+            row.train_dist.average_mean, 1e-9
+        )
+
+    assert drop(by_key[("wrn16_8", "wt")]) <= drop(by_key[("resnet20", "wt")]) + 0.1
+
+
+def test_bench_overparam_robust(benchmark, scale):
+    def regenerate():
+        robust_rows, robust_text = overparam_table(
+            "cifar", ["resnet20"], ["wt", "ft"], scale, robust=True
+        )
+        nominal_rows, _ = overparam_table("cifar", ["resnet20"], ["wt", "ft"], scale)
+        return robust_rows, robust_text, nominal_rows
+
+    robust_rows, text, nominal_rows = run_once(benchmark, regenerate)
+    print("\n" + text)
+
+    robust_wt = next(r for r in robust_rows if r.method_name == "wt")
+    nominal_wt = next(r for r in nominal_rows if r.method_name == "wt")
+
+    def gap(row):
+        return row.train_dist.average_mean - row.test_dist.average_mean
+
+    print(
+        f"train/test potential gap: nominal={gap(nominal_wt):+.3f} "
+        f"robust={gap(robust_wt):+.3f}; robust min test potential="
+        f"{robust_wt.test_dist.minimum_mean:.2f} (nominal: {nominal_wt.test_dist.minimum_mean:.2f})"
+    )
+    # Tables 12/13 vs 9/10: robust training closes the average gap...
+    assert gap(robust_wt) <= gap(nominal_wt) + 0.02
+    # ...and lifts the minimum test-distribution potential off the floor.
+    assert robust_wt.test_dist.minimum_mean >= nominal_wt.test_dist.minimum_mean

@@ -1,0 +1,93 @@
+"""Bench F6 — per-corruption prune potential on CIFAR (Fig. 6, App. D.2).
+
+For each corruption of the -C suite, the prune potential extracted from
+the corrupted prune-accuracy curve.  The paper's finding: potential varies
+wildly by corruption, hitting ~0 for the noise family while staying near
+nominal for mild digital corruptions.
+"""
+
+import numpy as np
+
+from repro.experiments import corruption_potential_experiment
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_potential_per_corruption(benchmark, scale):
+    def regenerate():
+        return {
+            m: corruption_potential_experiment("cifar", "resnet20", m, scale)
+            for m in ("wt", "ft")
+        }
+
+    results = run_once(benchmark, regenerate)
+
+    print()
+    wt = results["wt"]
+    rows = [
+        [dist, f"{100 * mu:.1f}", f"{100 * sd:.1f}"]
+        for dist, mu, sd in zip(wt.distributions, wt.mean, wt.std)
+    ]
+    print(
+        format_table(
+            ["Distribution", "WT potential (%)", "± std"],
+            rows,
+            title="Fig. 6b analog — WT prune potential per distribution",
+        )
+    )
+    ft = results["ft"]
+    rows = [
+        [dist, f"{100 * mu:.1f}", f"{100 * sd:.1f}"]
+        for dist, mu, sd in zip(ft.distributions, ft.mean, ft.std)
+    ]
+    print(
+        format_table(
+            ["Distribution", "FT potential (%)", "± std"],
+            rows,
+            title="Fig. 6e analog — FT prune potential per distribution",
+        )
+    )
+
+    # The paper's finding is that the potential *varies wildly and
+    # unpredictably* across corruptions, with some collapsing it while
+    # others preserve it.  (Which corruptions collapse it differs at this
+    # scale: mean-shifting weather/digital corruptions rather than the
+    # additive-noise family, whose statistics the synthetic generator
+    # already exposes during training — see EXPERIMENTS.md.)
+    for method, res in results.items():
+        nominal = res.potential_of("nominal").mean()
+        corruption_means = {
+            n: res.potential_of(n).mean()
+            for n in res.distributions
+            if n not in ("nominal", "shifted")
+        }
+        hardest = min(corruption_means.values())
+        best = max(corruption_means.values())
+        print(
+            f"{method.upper()}: nominal={nominal:.2f} hardest={hardest:.2f} "
+            f"best={best:.2f} spread={best - hardest:.2f}"
+        )
+        # 1. Some corruption destroys most of the potential.
+        assert hardest <= 0.35 * nominal + 1e-9, method
+        # 2. Some corruption is benign: potential within 35% of nominal.
+        assert best >= 0.65 * nominal, method
+        # 3. The spread is wide — the potential is task-dependent.
+        assert best - hardest >= 0.3 * nominal, method
+
+    # 4. The weather/digital mean shifts are the collapsing family here;
+    #    verify the collapse is not an artifact of a single corruption.
+    wt_means = {
+        n: results["wt"].potential_of(n).mean()
+        for n in results["wt"].distributions
+        if n not in ("nominal", "shifted")
+    }
+    nominal_wt = results["wt"].potential_of("nominal").mean()
+    n_collapsed = sum(1 for v in wt_means.values() if v <= 0.75 * nominal_wt)
+    assert n_collapsed >= 2
+
+    # 5. The shifted (CIFAR10.1-analog) set remains mild: within one grid
+    #    step of the nominal potential and far above the worst corruption.
+    shifted = results["wt"].potential_of("shifted").mean()
+    assert abs(shifted - nominal_wt) <= 0.1
+    assert shifted > min(wt_means.values())

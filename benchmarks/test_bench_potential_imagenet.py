@@ -1,0 +1,56 @@
+"""Bench F7/F35 — prune potential per corruption on the ImageNet analog.
+
+A ResNet18 on the larger, 20-class task; the paper observes even higher
+variance of the potential across corruptions than on CIFAR, and a much
+lower structured-pruning potential (Table 2's ResNet18 FT row: 13.7%).
+"""
+
+import numpy as np
+
+from repro.experiments import corruption_potential_experiment
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import IMAGENET_CORRUPTIONS, run_once
+
+
+def test_bench_imagenet_potential(benchmark, scale):
+    def regenerate():
+        return {
+            m: corruption_potential_experiment(
+                "imagenet",
+                "resnet18",
+                m,
+                scale.with_(n_repetitions=1),
+                corruptions=IMAGENET_CORRUPTIONS,
+            )
+            for m in ("wt", "ft")
+        }
+
+    results = run_once(benchmark, regenerate)
+
+    print()
+    wt, ft = results["wt"], results["ft"]
+    rows = [
+        [dist, f"{100 * w:.1f}", f"{100 * f:.1f}"]
+        for dist, w, f in zip(wt.distributions, wt.mean, ft.mean)
+    ]
+    print(
+        format_table(
+            ["Distribution", "WT potential (%)", "FT potential (%)"],
+            rows,
+            title="Fig. 7 analog — ResNet18 on synth-ImageNet",
+        )
+    )
+
+    wt_nominal = wt.potential_of("nominal").mean()
+    ft_nominal = ft.potential_of("nominal").mean()
+    corr = [d for d in wt.distributions if d not in ("nominal", "shifted")]
+    wt_corr = np.array([wt.potential_of(c).mean() for c in corr])
+
+    # 1. Weight pruning beats filter pruning on the harder task too.
+    assert wt_nominal > ft_nominal
+    # 2. The potential varies substantially across corruptions (Fig. 7's
+    #    "significantly higher variance").
+    assert wt_corr.max() - wt_corr.min() >= 0.2
+    # 3. At least one corruption costs a large chunk of nominal potential.
+    assert wt_corr.min() <= wt_nominal - 0.15

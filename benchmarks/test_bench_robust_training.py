@@ -1,0 +1,105 @@
+"""Bench F8/F48–F60 — robust (re-)training experiments (Section 6, App. E).
+
+Networks trained and retrained with the Table-11 corruption augmentation.
+Paper findings: (1) potential on train-distribution corruptions is largely
+recovered; (2) held-out corruptions can still cost potential; (3) the
+excess-error slope shrinks relative to nominal training.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    corruption_excess_error_experiment,
+    corruption_potential_experiment,
+    robust_excess_error_experiment,
+    robust_potential_experiment,
+)
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_robust_potential(benchmark, scale):
+    result = run_once(
+        benchmark, lambda: robust_potential_experiment("cifar", "resnet20", "wt", scale)
+    )
+
+    base = result.base
+    print()
+    rows = [
+        [
+            dist,
+            "train" if dist in result.protocol.train_corruptions
+            else "test" if dist in result.protocol.test_corruptions
+            else "-",
+            f"{100 * mu:.1f}",
+            f"{100 * sd:.1f}",
+        ]
+        for dist, mu, sd in zip(base.distributions, base.mean, base.std)
+    ]
+    print(
+        format_table(
+            ["Distribution", "Side", "Potential (%)", "± std"],
+            rows,
+            title="Fig. 8b analog — robustly trained WT ResNet20",
+        )
+    )
+
+    train_pot = result.train_dist_potentials().mean()
+    test_pot = result.test_dist_potentials().mean()
+    print(f"avg train-dist potential {train_pot:.2f}; avg test-dist potential {test_pot:.2f}")
+
+    # 1. Robust training keeps substantial potential on the corruptions it
+    #    trained on.
+    assert train_pot >= 0.3
+    # 2. Held-out corruptions are at most as good on average (the residual
+    #    gap of Section 6), allowing small sampling slack.
+    assert test_pot <= train_pot + 0.1
+
+
+def test_bench_robust_vs_nominal_corruption_recovery(benchmark, scale):
+    """Robust (re-)training makes *pruned* networks more accurate under the
+    corruptions it modelled, at matched prune ratios.
+
+    (Potential itself is not directly comparable across training regimes at
+    this scale because the robust parent is stronger, which raises the bar
+    Definition 1 measures against — so we compare corrupted test error of
+    the pruned checkpoints instead.)"""
+
+    def regenerate():
+        robust = robust_potential_experiment("cifar", "resnet20", "wt", scale)
+        nominal = corruption_potential_experiment("cifar", "resnet20", "wt", scale)
+        return robust, nominal
+
+    robust, nominal = run_once(benchmark, regenerate)
+    train_corrs = robust.protocol.train_corruptions
+
+    def mean_pruned_error(curves_by_dist, names):
+        """Mean corrupted test error over all checkpoints and repetitions."""
+        return float(
+            np.mean([[c.errors for c in curves_by_dist[n]] for n in names])
+        )
+
+    robust_err = mean_pruned_error(robust.base.curves, train_corrs)
+    nominal_err = mean_pruned_error(nominal.curves, train_corrs)
+    print(
+        f"\nmean pruned-network error on train-dist corruptions: "
+        f"robust={100 * robust_err:.1f}% nominal-trained={100 * nominal_err:.1f}%"
+    )
+    assert robust_err < nominal_err
+
+
+def test_bench_robust_excess_error_slope(benchmark, scale):
+    """Fig. 8c: the excess-error slope shrinks under robust training."""
+
+    def regenerate():
+        robust = robust_excess_error_experiment("cifar", "resnet20", "wt", scale)
+        nominal = corruption_excess_error_experiment("cifar", "resnet20", "wt", scale)
+        return robust, nominal
+
+    robust, nominal = run_once(benchmark, regenerate)
+    print(
+        f"\nOLS slope: nominal={nominal.slope:+.4f} robust={robust.slope:+.4f} "
+        f"(robust CI [{robust.slope_ci[0]:+.4f}, {robust.slope_ci[1]:+.4f}])"
+    )
+    assert robust.slope < nominal.slope

@@ -1,0 +1,93 @@
+"""Functional distance: is a pruned network the same *function*?
+
+Reproduces Section 4 in miniature: compares a pruned network against its
+parent and against a separately trained network of the same architecture
+
+- under ℓ∞-bounded input noise (matching predictions, softmax distance),
+- via BackSelect informative-pixel transfer (the Fig. 3 heatmap).
+
+    python examples/functional_similarity.py
+"""
+
+import numpy as np
+
+from repro.analysis import cross_model_confidence_matrix, noise_similarity
+from repro.experiments import SMOKE, ZooSpec, get_parent_state, get_prune_run, make_model, make_suite
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    scale = SMOKE
+    suite = make_suite("cifar", scale)
+    normalizer = suite.normalizer()
+    test = suite.test_set()
+    images = normalizer(test.images[:128])
+
+    print("loading (or training) networks ...")
+    spec = ZooSpec("cifar", "resnet20", "wt", repetition=0)
+    run = get_prune_run(spec, scale)
+
+    parent = make_model(spec, suite, scale)
+    parent.load_state_dict(run.parent_state)
+
+    mid = len(run.checkpoints) // 2
+    pruned = make_model(spec, suite, scale)
+    pruned.load_state_dict(run.checkpoints[mid].state)
+    pr = run.checkpoints[mid].achieved_ratio
+
+    sep_spec = ZooSpec("cifar", "resnet20", None, repetition=1)
+    separate = make_model(sep_spec, suite, scale)
+    separate.load_state_dict(get_parent_state(sep_spec, scale))
+
+    # --- noise similarity -------------------------------------------------
+    rows = []
+    for eps in (0.0, 0.1, 0.3):
+        sim_p = noise_similarity(parent, pruned, images, eps, n_trials=5, rng=0)
+        sim_s = noise_similarity(parent, separate, images, eps, n_trials=5, rng=0)
+        rows.append(
+            [
+                f"{eps:.1f}",
+                f"{sim_p.match_rate:.2f}",
+                f"{sim_s.match_rate:.2f}",
+                f"{sim_p.l2_distance:.3f}",
+                f"{sim_s.l2_distance:.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["eps", f"match vs pruned (PR={pr:.2f})", "match vs separate",
+             "L2 vs pruned", "L2 vs separate"],
+            rows,
+            title="Fig. 4 in miniature — noise similarity to the parent",
+        )
+    )
+
+    # --- informative-feature transfer ------------------------------------
+    print("\nrunning BackSelect on a few test images (this is the slow part) ...")
+    labels = ["parent", f"pruned PR={pr:.2f}", "separate"]
+    heat = cross_model_confidence_matrix(
+        [parent, pruned, separate],
+        images[:4],
+        test.labels[:4],
+        keep_fraction=0.1,
+        pixels_per_step=16,
+    )
+    rows = [[labels[i]] + [f"{v:.2f}" for v in heat[i]] for i in range(3)]
+    print()
+    print(
+        format_table(
+            ["pixels from \\ eval on", *labels],
+            rows,
+            title="Fig. 3 in miniature — confidence on informative pixels",
+        )
+    )
+    print(
+        "\nreading: the pruned network stays functionally close to its "
+        "parent (high match rate, transferable informative pixels); an "
+        "independently trained network of identical architecture does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Pruning a dense-prediction model (the Pascal-VOC role, Table 8).
+
+Segmentation is the paper's hardest pruning target: DeeplabV3's filter
+prune potential is 0% even on nominal data.  This example runs the
+pipeline on the synthetic VOC task and reports pixel accuracy, mean IoU,
+and the prune potential per method.
+
+    python examples/segmentation_pruning.py
+"""
+
+import numpy as np
+
+from repro.analysis import evaluate_curve
+from repro.experiments import SMOKE, ZooSpec, get_prune_run, make_model, make_suite
+from repro.training import evaluate_model
+from repro.utils.tables import format_table
+
+DELTA = 0.005
+
+
+def main() -> None:
+    scale = SMOKE.with_(n_repetitions=1)
+    suite = make_suite("voc", scale)
+    normalizer = suite.normalizer()
+    test = suite.test_set()
+    print(
+        f"synthetic VOC task: {len(suite.train_set())} train / {len(test)} test "
+        f"images at {suite.input_shape[1]}x{suite.input_shape[2]}, "
+        f"{suite.num_classes} classes (incl. background)"
+    )
+
+    rows = []
+    for method in ("wt", "ft", "pfp"):
+        spec = ZooSpec("voc", "deeplab_small", method, repetition=0)
+        run = get_prune_run(spec, scale)
+        model = make_model(spec, suite, scale)
+
+        # Parent metrics (pixel accuracy + IoU, as Table 8 reports both).
+        run.restore_parent(model)
+        parent = evaluate_model(model, test.images, test.labels, normalizer)
+
+        curve = evaluate_curve(run, model, test, normalizer)
+        potential = curve.potential(DELTA)
+
+        # Metrics at the largest commensurate checkpoint (or the first).
+        qualifying = [
+            i for i, e in enumerate(curve.errors) if e <= curve.parent_error + DELTA
+        ]
+        idx = max(qualifying) if qualifying else 0
+        run.restore(model, idx)
+        pruned = evaluate_model(model, test.images, test.labels, normalizer)
+
+        rows.append(
+            [
+                method.upper(),
+                f"{100 * parent['accuracy']:.1f}",
+                f"{100 * parent['iou']:.1f}",
+                f"{100 * potential:.0f}",
+                f"{run.checkpoints[idx].achieved_ratio:.2f}",
+                f"{100 * pruned['accuracy']:.1f}",
+                f"{100 * pruned['iou']:.1f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "Method",
+                "Parent acc (%)",
+                "Parent IoU (%)",
+                "Potential (%)",
+                "PR shown",
+                "Pruned acc (%)",
+                "Pruned IoU (%)",
+            ],
+            rows,
+            title="Table 8 in miniature — pruning the segmentation model",
+        )
+    )
+    print(
+        "\nthe paper's Table 8: on real VOC, WT keeps ~59% of weights "
+        "prunable at commensurate IoU while FT keeps 0% — dense prediction "
+        "tolerates unstructured sparsity far better than filter removal."
+    )
+
+
+if __name__ == "__main__":
+    main()

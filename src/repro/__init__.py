@@ -1,0 +1,45 @@
+"""repro — reproduction of *Lost in Pruning: The Effects of Pruning Neural
+Networks beyond Test Accuracy* (Liebenwein et al., MLSys 2021).
+
+The library is a pure-NumPy stack:
+
+- :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` — the deep
+  learning substrate (reverse-mode autodiff, conv nets, SGD recipes);
+- :mod:`repro.models` — scaled members of the paper's architecture families;
+- :mod:`repro.data` — synthetic CIFAR/ImageNet/VOC stand-ins, the
+  corruption suite, ℓ∞ noise, and the shifted test set;
+- :mod:`repro.pruning` — WT / SiPP / FT / PFP and PRUNERETRAIN (Alg. 1);
+- :mod:`repro.analysis` — functional distance, BackSelect, prune potential
+  (Def. 1), excess error (Def. 2), overparameterization summaries;
+- :mod:`repro.experiments` — one harness entry per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import data, models, pruning
+    from repro.training import Trainer, TrainConfig
+
+    suite = data.cifar_like()
+    model = models.resnet20(rng=np.random.default_rng(0))
+    trainer = Trainer(model, suite, TrainConfig(epochs=10))
+    trainer.train()
+    pipeline = pruning.PruneRetrain(trainer, pruning.build_method("wt"))
+    run = pipeline.run(target_ratios=[0.5, 0.85, 0.95])
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, autograd, data, models, nn, optim, pruning, training, utils
+
+__all__ = [
+    "analysis",
+    "autograd",
+    "data",
+    "models",
+    "nn",
+    "optim",
+    "pruning",
+    "training",
+    "utils",
+    "__version__",
+]

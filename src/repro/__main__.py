@@ -1,0 +1,107 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``zoo``        pre-train the cached model zoo used by the benchmarks
+``curve``      run one prune-retrain pipeline and print its curve
+``potential``  prune potential per distribution for one (model, method)
+``tables``     print the PR/FR and overparameterization tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task", default="cifar", choices=["cifar", "imagenet", "voc"])
+    parser.add_argument("--model", default="resnet20")
+    parser.add_argument("--method", default="wt", choices=["wt", "sipp", "ft", "pfp"])
+    parser.add_argument("--repetitions", type=int, default=None)
+
+
+def _scale(args):
+    from repro.experiments import SMOKE
+
+    scale = SMOKE
+    if args.repetitions is not None:
+        scale = scale.with_(n_repetitions=args.repetitions)
+    return scale
+
+
+def cmd_zoo(args) -> int:
+    from benchmarks.build_zoo import main as build_zoo_main  # type: ignore
+
+    return build_zoo_main()
+
+
+def cmd_curve(args) -> int:
+    from repro.experiments import prune_curve_experiment, prune_summary_row
+    from repro.experiments.reporting import curve_line
+
+    scale = _scale(args)
+    res = prune_curve_experiment(args.task, args.model, args.method, scale)
+    print(f"{args.model} / {args.method.upper()} on synth-{args.task}")
+    print(f"parent test error: {100 * res.parent_errors.mean():.2f}%")
+    print(curve_line("test error vs PR", res.ratios, res.error_mean))
+    row = prune_summary_row(res, scale.delta)
+    print(
+        f"commensurate operating point: PR={100 * row.prune_ratio:.1f}% "
+        f"FR={100 * row.flop_reduction:.1f}% (ΔErr {100 * row.error_delta:+.2f}%)"
+    )
+    return 0
+
+
+def cmd_potential(args) -> int:
+    from repro.experiments import corruption_potential_experiment
+    from repro.utils.tables import format_table
+
+    scale = _scale(args)
+    res = corruption_potential_experiment(args.task, args.model, args.method, scale)
+    rows = [
+        [d, f"{100 * m:.1f}", f"{100 * s:.1f}"]
+        for d, m, s in zip(res.distributions, res.mean, res.std)
+    ]
+    print(
+        format_table(
+            ["Distribution", "Potential (%)", "± std"],
+            rows,
+            title=f"Prune potential — {args.model}/{args.method.upper()} on synth-{args.task}",
+        )
+    )
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.experiments import overparam_table, pr_fr_table
+
+    scale = _scale(args)
+    _, text = pr_fr_table(args.task, [args.model], ["wt", "ft"], scale)
+    print(text)
+    print()
+    _, text = overparam_table(args.task, [args.model], ["wt", "ft"], scale)
+    print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("zoo", help="pre-train the cached model zoo")
+    for name, fn in [("curve", cmd_curve), ("potential", cmd_potential), ("tables", cmd_tables)]:
+        p = sub.add_parser(name)
+        _add_common(p)
+        p.set_defaults(fn=fn)
+    parser.set_defaults(fn=cmd_zoo)
+
+    args = parser.parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

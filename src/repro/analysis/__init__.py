@@ -1,0 +1,69 @@
+"""Analysis tools: the paper's measurement machinery.
+
+- :mod:`functional_distance` — matching predictions / softmax distance
+  under input noise (Section 4, Fig. 4);
+- :mod:`backselect` — greedy informative-pixel selection and cross-model
+  confidence heatmaps (Section 4, Fig. 3);
+- :mod:`prune_potential` — Definition 1 evaluated from prune-accuracy
+  curves (Section 5, Figs. 1/6/7);
+- :mod:`excess_error` — Definition 2 and the difference in excess error
+  with OLS fits (Section 5, Figs. 6c/6f, Appendix D.5);
+- :mod:`overparam` — average/minimum prune potential summaries
+  (Tables 2/9/10/12/13).
+"""
+
+from repro.analysis.functional_distance import (
+    NoiseSimilarity,
+    noise_similarity,
+    predictions_and_softmax,
+)
+from repro.analysis.backselect import (
+    backselect_order,
+    confidence_on_informative_pixels,
+    cross_model_confidence_matrix,
+    informative_pixel_mask,
+)
+from repro.analysis.prune_potential import (
+    PruneAccuracyCurve,
+    evaluate_curve,
+    prune_potential,
+    prune_potential_from_curve,
+)
+from repro.analysis.excess_error import (
+    excess_error,
+    excess_error_difference,
+)
+from repro.analysis.regression import bootstrap_slope_ci, ols_slope_through_origin
+from repro.analysis.overparam import PotentialSummary, summarize_potentials
+from repro.analysis.class_impact import ClassImpactResult, class_impact, per_class_error
+from repro.analysis.adversarial import adversarial_error, fgsm_attack, input_gradient
+from repro.analysis.sparsity import SparsityProfile, layerwise_sparsity, sparsity_profile
+
+__all__ = [
+    "noise_similarity",
+    "NoiseSimilarity",
+    "predictions_and_softmax",
+    "backselect_order",
+    "informative_pixel_mask",
+    "confidence_on_informative_pixels",
+    "cross_model_confidence_matrix",
+    "PruneAccuracyCurve",
+    "evaluate_curve",
+    "prune_potential",
+    "prune_potential_from_curve",
+    "excess_error",
+    "excess_error_difference",
+    "ols_slope_through_origin",
+    "bootstrap_slope_ci",
+    "PotentialSummary",
+    "summarize_potentials",
+    "class_impact",
+    "ClassImpactResult",
+    "per_class_error",
+    "fgsm_attack",
+    "adversarial_error",
+    "input_gradient",
+    "layerwise_sparsity",
+    "sparsity_profile",
+    "SparsityProfile",
+]

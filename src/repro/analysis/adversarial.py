@@ -1,0 +1,70 @@
+"""Adversarial robustness probes (FGSM).
+
+The paper's related work surveys conflicting evidence on whether pruning
+hurts adversarial robustness (Wang et al. 2018; Ye et al. 2019 vs Guo et
+al. 2018).  This module provides the standard fast-gradient-sign attack so
+the library can measure the white-box robustness of pruned networks; it
+exercises input gradients of the autograd engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.nn.module import Module
+
+
+def input_gradient(
+    model: Module, images: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Gradient of the mean cross-entropy loss w.r.t. the (normalized) input."""
+    was_training = model.training
+    model.eval()
+    try:
+        x = Tensor(images.astype(np.float32), requires_grad=True)
+        loss = F.cross_entropy(model(x), labels)
+        loss.backward()
+    finally:
+        model.train(was_training)
+    if x.grad is None:
+        raise RuntimeError("input received no gradient; is the model constant?")
+    return x.grad
+
+
+def fgsm_attack(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    eps: float,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Fast gradient sign method: ``x' = x + eps * sign(∇_x loss)``.
+
+    Operates in whatever space ``images`` lives in (the paper-style
+    convention is normalized space, matching the ℓ∞ noise experiments).
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be >= 0, got {eps}")
+    out = images.copy()
+    for start in range(0, len(images), batch_size):
+        sl = slice(start, start + batch_size)
+        grad = input_gradient(model, images[sl], labels[sl])
+        out[sl] = images[sl] + eps * np.sign(grad)
+    return out
+
+
+def adversarial_error(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    eps: float,
+    batch_size: int = 256,
+) -> float:
+    """Error rate under a white-box FGSM attack of budget ``eps``."""
+    from repro.analysis.functional_distance import predictions_and_softmax
+
+    adversarial = fgsm_attack(model, images, labels, eps, batch_size)
+    preds, _ = predictions_and_softmax(model, adversarial, batch_size)
+    return float((preds != labels).mean())

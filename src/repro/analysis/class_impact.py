@@ -1,0 +1,82 @@
+"""Per-class impact of pruning ("selective brain damage").
+
+Hooker et al. (2019), cited in the paper's related work, observe that
+pruning does not degrade classes uniformly: a pruned network with
+commensurate *aggregate* accuracy can be disproportionately worse on a few
+classes.  This module measures that effect for any pruned/parent pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.functional_distance import predictions_and_softmax
+from repro.data.datasets import Dataset, Normalizer
+from repro.nn.module import Module
+
+
+def per_class_error(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Error rate per true class; NaN for classes absent from ``labels``."""
+    preds, _ = predictions_and_softmax(model, images, batch_size)
+    errors = np.full(num_classes, np.nan)
+    for k in range(num_classes):
+        mask = labels == k
+        if mask.any():
+            errors[k] = float((preds[mask] != k).mean())
+    return errors
+
+
+@dataclass
+class ClassImpactResult:
+    """Per-class error deltas of a pruned network vs its parent."""
+
+    parent_errors: np.ndarray  # (K,)
+    pruned_errors: np.ndarray  # (K,)
+
+    @property
+    def deltas(self) -> np.ndarray:
+        """Pruned minus parent error per class (positive = class got worse)."""
+        return self.pruned_errors - self.parent_errors
+
+    @property
+    def aggregate_delta(self) -> float:
+        """Mean error change across classes (macro-averaged)."""
+        return float(np.nanmean(self.deltas))
+
+    @property
+    def worst_class(self) -> int:
+        """Class index with the largest error increase."""
+        return int(np.nanargmax(self.deltas))
+
+    @property
+    def disparity(self) -> float:
+        """Worst-class delta minus the aggregate delta.
+
+        Zero would mean pruning degrades all classes uniformly; Hooker et
+        al.'s finding is that it is substantially positive.
+        """
+        return float(np.nanmax(self.deltas) - self.aggregate_delta)
+
+
+def class_impact(
+    parent: Module,
+    pruned: Module,
+    dataset: Dataset,
+    num_classes: int,
+    normalizer: Normalizer | None = None,
+    batch_size: int = 256,
+) -> ClassImpactResult:
+    """Compare per-class errors of ``pruned`` against ``parent``."""
+    images = dataset.images if normalizer is None else normalizer(dataset.images)
+    return ClassImpactResult(
+        parent_errors=per_class_error(parent, images, dataset.labels, num_classes, batch_size),
+        pruned_errors=per_class_error(pruned, images, dataset.labels, num_classes, batch_size),
+    )

@@ -1,0 +1,87 @@
+"""Excess error (Definition 2) and the pruned-vs-unpruned difference.
+
+``e(θ, D') = E_{D'} loss − E_{D} loss`` measures a fixed network's error
+increase under a distribution change.  The paper's headline quantity is the
+*difference in excess error* ``ê − e`` between a pruned network and its
+parent: zero everywhere would mean the nominal prune-accuracy trade-off
+transfers to o.o.d. data; the paper finds it grows with the prune ratio
+(Figs. 6c/6f, Appendix D.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset, Normalizer
+from repro.nn.module import Module
+from repro.pruning.pipeline import PruneRun
+from repro.training.trainer import evaluate_model
+
+
+def excess_error(
+    model: Module,
+    nominal: Dataset,
+    shifted: Dataset,
+    normalizer: Normalizer | None = None,
+) -> float:
+    """``e(θ, D')``: error on ``shifted`` minus error on ``nominal``."""
+    err_shifted = evaluate_model(
+        model, shifted.images, shifted.labels, normalizer
+    )["error"]
+    err_nominal = evaluate_model(
+        model, nominal.images, nominal.labels, normalizer
+    )["error"]
+    return err_shifted - err_nominal
+
+
+@dataclass
+class ExcessErrorResult:
+    """Difference in excess error per prune ratio, averaged over o.o.d. sets."""
+
+    ratios: np.ndarray
+    differences: np.ndarray  # ê - e per checkpoint
+    parent_excess: float
+
+
+def excess_error_difference(
+    run: PruneRun,
+    model: Module,
+    nominal: Dataset,
+    ood_datasets: Sequence[Dataset],
+    normalizer: Normalizer | None = None,
+) -> ExcessErrorResult:
+    """``ê − e`` for every checkpoint of ``run``.
+
+    The o.o.d. error is averaged across ``ood_datasets`` (the paper averages
+    over all corruptions of the test distribution).
+    """
+    if not ood_datasets:
+        raise ValueError("need at least one o.o.d. dataset")
+
+    def errors_of(state: dict) -> tuple[float, float]:
+        model.load_state_dict(state)
+        nom = evaluate_model(model, nominal.images, nominal.labels, normalizer)["error"]
+        ood = float(
+            np.mean(
+                [
+                    evaluate_model(model, d.images, d.labels, normalizer)["error"]
+                    for d in ood_datasets
+                ]
+            )
+        )
+        return nom, ood
+
+    parent_nom, parent_ood = errors_of(run.parent_state)
+    parent_excess = parent_ood - parent_nom
+    diffs = []
+    for ckpt in run.checkpoints:
+        nom, ood = errors_of(ckpt.state)
+        diffs.append((ood - nom) - parent_excess)
+    return ExcessErrorResult(
+        ratios=run.ratios,
+        differences=np.array(diffs),
+        parent_excess=parent_excess,
+    )

@@ -1,0 +1,99 @@
+"""Prune potential (Definition 1) from prune-accuracy curves.
+
+The prune potential P(θ, D) is the maximal prune ratio whose pruned network
+(produced by PRUNERETRAIN) keeps its expected loss within margin δ of the
+unpruned parent *on distribution D*.  With the paper's indicator loss this
+is: the largest achieved ratio whose test error on D exceeds the parent's
+error on D by at most δ (δ = 0.5% by default); 0 if no ratio qualifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.datasets import Dataset, Normalizer
+from repro.nn.module import Module
+from repro.pruning.pipeline import PruneRun
+from repro.training.trainer import evaluate_model
+
+DEFAULT_DELTA = 0.005
+
+
+@dataclass
+class PruneAccuracyCurve:
+    """Errors of the parent and each pruned checkpoint on one distribution."""
+
+    distribution: str
+    ratios: np.ndarray
+    errors: np.ndarray
+    parent_error: float
+
+    def potential(self, delta: float = DEFAULT_DELTA) -> float:
+        return prune_potential_from_curve(
+            self.ratios, self.errors, self.parent_error, delta
+        )
+
+
+def prune_potential_from_curve(
+    ratios: np.ndarray,
+    errors: np.ndarray,
+    parent_error: float,
+    delta: float = DEFAULT_DELTA,
+) -> float:
+    """Largest ratio with ``error <= parent_error + delta``; 0 if none."""
+    ratios = np.asarray(ratios, dtype=float)
+    errors = np.asarray(errors, dtype=float)
+    if ratios.shape != errors.shape:
+        raise ValueError(f"shape mismatch: {ratios.shape} vs {errors.shape}")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    ok = errors <= parent_error + delta
+    if not ok.any():
+        return 0.0
+    return float(ratios[ok].max())
+
+
+def evaluate_curve(
+    run: PruneRun,
+    model: Module,
+    dataset: Dataset,
+    normalizer: Normalizer | None = None,
+    transform: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> PruneAccuracyCurve:
+    """Evaluate the parent and every checkpoint of ``run`` on ``dataset``.
+
+    ``model`` must share the run's architecture; its weights are
+    overwritten.  ``transform`` applies to normalized inputs (noise
+    injection).
+    """
+
+    def error_of(state: dict) -> float:
+        model.load_state_dict(state)
+        return evaluate_model(
+            model, dataset.images, dataset.labels, normalizer, transform=transform
+        )["error"]
+
+    parent_error = error_of(run.parent_state)
+    errors = np.array([error_of(c.state) for c in run.checkpoints])
+    return PruneAccuracyCurve(
+        distribution=dataset.name,
+        ratios=run.ratios,
+        errors=errors,
+        parent_error=parent_error,
+    )
+
+
+def prune_potential(
+    run: PruneRun,
+    model: Module,
+    dataset: Dataset,
+    normalizer: Normalizer | None = None,
+    delta: float = DEFAULT_DELTA,
+    transform: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> float:
+    """Definition 1 for the networks of ``run`` on ``dataset``."""
+    curve = evaluate_curve(run, model, dataset, normalizer, transform)
+    return curve.potential(delta)

@@ -1,0 +1,74 @@
+"""Layerwise sparsity profiles of pruned networks.
+
+Where a method prunes is as characteristic as how much: global magnitude
+methods (WT/SiPP) concentrate sparsity in the largest, most redundant
+layers, while FT's uniform allocation spreads it evenly and PFP's
+sensitivity budget sits in between.  These profiles explain the FLOP-vs-
+parameter-ratio differences in Tables 4/6/8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.mask import prunable_layers
+from repro.pruning.pipeline import PruneRun
+
+
+def layerwise_sparsity(model: Module) -> dict[str, float]:
+    """Per-layer fraction of masked weights, in forward order."""
+    return {name: layer.prune_ratio for name, layer in prunable_layers(model)}
+
+
+def layerwise_sizes(model: Module) -> dict[str, int]:
+    """Per-layer prunable weight counts, in forward order."""
+    return {name: layer.weight.size for name, layer in prunable_layers(model)}
+
+
+@dataclass
+class SparsityProfile:
+    """Layerwise sparsity of every checkpoint of a prune run."""
+
+    layer_names: list[str]
+    layer_sizes: np.ndarray  # (L,)
+    ratios: np.ndarray  # (K,) overall achieved ratios
+    sparsities: np.ndarray  # (K, L) per-layer prune fraction
+
+    def imbalance(self, checkpoint: int) -> float:
+        """Spread of per-layer sparsity at one checkpoint (max − min).
+
+        ~0 for perfectly uniform allocation (FT's design goal); large for
+        global methods that exempt sensitive layers.
+        """
+        row = self.sparsities[checkpoint]
+        return float(row.max() - row.min())
+
+    def weighted_sparsity(self, checkpoint: int) -> float:
+        """Size-weighted mean sparsity (equals the overall prune ratio)."""
+        row = self.sparsities[checkpoint]
+        return float((row * self.layer_sizes).sum() / self.layer_sizes.sum())
+
+
+def sparsity_profile(run: PruneRun, model: Module) -> SparsityProfile:
+    """Extract the layerwise profile of every checkpoint in ``run``.
+
+    ``model`` must share the run's architecture; its weights are
+    overwritten.
+    """
+    model.load_state_dict(run.parent_state)
+    names = [name for name, _ in prunable_layers(model)]
+    sizes = np.array([layer.weight.size for _, layer in prunable_layers(model)])
+    rows = []
+    for i in range(len(run.checkpoints)):
+        run.restore(model, i)
+        per_layer = layerwise_sparsity(model)
+        rows.append([per_layer[name] for name in names])
+    return SparsityProfile(
+        layer_names=names,
+        layer_sizes=sizes,
+        ratios=run.ratios,
+        sparsities=np.array(rows),
+    )

@@ -1,0 +1,307 @@
+"""Primitive differentiable ops and the Tensor operator protocol.
+
+Each op validates inputs, computes the forward value with vectorized NumPy,
+and registers a backward closure via :func:`repro.autograd.tensor.build`.
+Broadcasting is supported everywhere; gradients are reduced back to the
+operand shapes with ``unbroadcast``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, build, ensure_tensor, unbroadcast
+
+# --------------------------------------------------------------- arithmetic
+
+
+def _pair(a, b) -> tuple[Tensor, Tensor]:
+    """Coerce operands to Tensors; python scalars adopt the other operand's
+    dtype so float32 networks are not silently upcast to float64."""
+    if isinstance(a, Tensor) and isinstance(b, (int, float)):
+        b = Tensor(np.asarray(b, dtype=a.data.dtype))
+    elif isinstance(b, Tensor) and isinstance(a, (int, float)):
+        a = Tensor(np.asarray(a, dtype=b.data.dtype))
+    return ensure_tensor(a), ensure_tensor(b)
+
+
+def add(a, b) -> Tensor:
+    a, b = _pair(a, b)
+    return build(
+        a.data + b.data,
+        (a, b),
+        lambda g: (unbroadcast(g, a.shape), unbroadcast(g, b.shape)),
+    )
+
+
+def sub(a, b) -> Tensor:
+    a, b = _pair(a, b)
+    return build(
+        a.data - b.data,
+        (a, b),
+        lambda g: (unbroadcast(g, a.shape), unbroadcast(-g, b.shape)),
+    )
+
+
+def mul(a, b) -> Tensor:
+    a, b = _pair(a, b)
+    return build(
+        a.data * b.data,
+        (a, b),
+        lambda g: (unbroadcast(g * b.data, a.shape), unbroadcast(g * a.data, b.shape)),
+    )
+
+
+def div(a, b) -> Tensor:
+    a, b = _pair(a, b)
+    return build(
+        a.data / b.data,
+        (a, b),
+        lambda g: (
+            unbroadcast(g / b.data, a.shape),
+            unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+        ),
+    )
+
+
+def neg(a) -> Tensor:
+    a = ensure_tensor(a)
+    return build(-a.data, (a,), lambda g: (-g,))
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a scalar exponent."""
+    a = ensure_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("power supports scalar exponents only")
+    exponent = float(exponent)
+    out_data = a.data**exponent
+    return build(out_data, (a,), lambda g: (g * exponent * a.data ** (exponent - 1),))
+
+
+def matmul(a, b) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    if a.ndim < 1 or b.ndim < 1:
+        raise ValueError("matmul requires operands with ndim >= 1")
+
+    def backward(g):
+        if a.ndim == 1 and b.ndim == 1:
+            return g * b.data, g * a.data
+        if b.ndim == 1:
+            return np.outer(g, b.data).reshape(a.shape), a.data.reshape(-1, a.shape[-1]).T @ g.reshape(-1)
+        if a.ndim == 1:
+            return g @ b.data.T if b.ndim == 2 else None, np.outer(a.data, g)
+        ga = g @ np.swapaxes(b.data, -1, -2)
+        gb = np.swapaxes(a.data, -1, -2) @ g
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return build(a.data @ b.data, (a, b), backward)
+
+
+# -------------------------------------------------------------- elementwise
+
+
+def exp(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.exp(a.data)
+    return build(out_data, (a,), lambda g: (g * out_data,))
+
+
+def log(a) -> Tensor:
+    a = ensure_tensor(a)
+    return build(np.log(a.data), (a,), lambda g: (g / a.data,))
+
+
+def sqrt(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.sqrt(a.data)
+    return build(out_data, (a,), lambda g: (g / (2.0 * out_data),))
+
+
+def relu(a) -> Tensor:
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    return build(np.where(mask, a.data, 0.0), (a,), lambda g: (g * mask,))
+
+
+def tanh(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.tanh(a.data)
+    return build(out_data, (a,), lambda g: (g * (1.0 - out_data * out_data),))
+
+
+def sigmoid(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+    return build(out_data, (a,), lambda g: (g * out_data * (1.0 - out_data),))
+
+
+def absolute(a) -> Tensor:
+    a = ensure_tensor(a)
+    return build(np.abs(a.data), (a,), lambda g: (g * np.sign(a.data),))
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; ties send the gradient to the first operand."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    take_a = a.data >= b.data
+    return build(
+        np.where(take_a, a.data, b.data),
+        (a, b),
+        lambda g: (unbroadcast(g * take_a, a.shape), unbroadcast(g * ~take_a, b.shape)),
+    )
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    a = ensure_tensor(a)
+    inside = (a.data >= low) & (a.data <= high)
+    return build(np.clip(a.data, low, high), (a,), lambda g: (g * inside,))
+
+
+# --------------------------------------------------------------- reductions
+
+
+def _normalize_axis(axis, ndim: int):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(ax % ndim for ax in axis)
+
+
+def tensor_sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = ensure_tensor(a)
+    axis = _normalize_axis(axis, a.ndim)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.shape).copy(),)
+
+    return build(out_data, (a,), backward)
+
+
+def tensor_mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = ensure_tensor(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    count = (
+        a.size
+        if axis_n is None
+        else int(np.prod([a.shape[ax] for ax in axis_n]))
+    )
+    out_data = a.data.mean(axis=axis_n, keepdims=keepdims)
+
+    def backward(g):
+        if axis_n is not None and not keepdims:
+            g = np.expand_dims(g, axis_n)
+        return (np.broadcast_to(g, a.shape) / count,)
+
+    return build(out_data, (a,), backward)
+
+
+def tensor_max(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Max reduction; gradient splits evenly among tied maxima."""
+    a = ensure_tensor(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    out_data = a.data.max(axis=axis_n, keepdims=keepdims)
+
+    def backward(g):
+        expanded = out_data
+        if axis_n is not None and not keepdims:
+            expanded = np.expand_dims(out_data, axis_n)
+            g = np.expand_dims(g, axis_n)
+        mask = (a.data == expanded).astype(a.data.dtype)
+        mask /= mask.sum(axis=axis_n, keepdims=True)
+        return (mask * g,)
+
+    return build(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- shape
+
+
+def reshape(a, *shape) -> Tensor:
+    a = ensure_tensor(a)
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    out_data = a.data.reshape(shape)
+    return build(out_data, (a,), lambda g: (g.reshape(a.shape),))
+
+
+def transpose(a, *axes) -> Tensor:
+    a = ensure_tensor(a)
+    if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+        axes = tuple(axes[0])
+    if not axes:
+        axes = tuple(reversed(range(a.ndim)))
+    inverse = np.argsort(axes)
+    return build(a.data.transpose(axes), (a,), lambda g: (g.transpose(inverse),))
+
+
+def getitem(a, index) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data[index]
+
+    def backward(g):
+        grad = np.zeros_like(a.data)
+        np.add.at(grad, index, g)
+        return (grad,)
+
+    return build(out_data, (a,), backward)
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("need at least one tensor to concatenate")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        return tuple(np.split(g, splits, axis=axis))
+
+    return build(out_data, tuple(tensors), backward)
+
+
+def pad2d(a, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) dims of an NCHW tensor."""
+    a = ensure_tensor(a)
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    if padding == 0:
+        return a
+    p = padding
+    widths = [(0, 0)] * (a.ndim - 2) + [(p, p), (p, p)]
+    out_data = np.pad(a.data, widths)
+    sl = (Ellipsis, slice(p, -p), slice(p, -p))
+    return build(out_data, (a,), lambda g: (g[sl],))
+
+
+# ----------------------------------------------------- patch Tensor methods
+
+Tensor.__add__ = add
+Tensor.__radd__ = lambda self, other: add(other, self)
+Tensor.__sub__ = sub
+Tensor.__rsub__ = lambda self, other: sub(other, self)
+Tensor.__mul__ = mul
+Tensor.__rmul__ = lambda self, other: mul(other, self)
+Tensor.__truediv__ = div
+Tensor.__rtruediv__ = lambda self, other: div(other, self)
+Tensor.__neg__ = neg
+Tensor.__pow__ = power
+Tensor.__matmul__ = matmul
+Tensor.__getitem__ = getitem
+Tensor.sum = tensor_sum
+Tensor.mean = tensor_mean
+Tensor.max = tensor_max
+Tensor.reshape = reshape
+Tensor.transpose = transpose
+Tensor.exp = exp
+Tensor.log = log
+Tensor.sqrt = sqrt
+Tensor.relu = relu
+Tensor.tanh = tanh
+Tensor.sigmoid = sigmoid
+Tensor.abs = absolute

@@ -1,0 +1,54 @@
+"""Data substrate: synthetic image tasks and distribution shifts.
+
+The paper evaluates on CIFAR10 / ImageNet / Pascal VOC with the CIFAR10-C /
+ImageNet-C / VOC-C corruption suites and the resampled CIFAR10.1 test set.
+None of those are downloadable in this offline environment, so this package
+provides procedurally generated stand-ins with the same *roles*:
+
+- :mod:`repro.data.synthetic` — structured, learnable image classification
+  and segmentation tasks, deterministic from a seed;
+- :mod:`repro.data.corruptions` — a 16-corruption suite with 5 severity
+  levels in the paper's four categories (noise / blur / weather / digital);
+- :mod:`repro.data.shifted` — a mildly shifted resample (the CIFAR10.1 analog);
+- :mod:`repro.data.noise` — ℓ∞-bounded uniform input noise;
+- :mod:`repro.data.augmentation` — crop/flip and corruption-based robust
+  training augmentation (Table 11 protocol).
+"""
+
+from repro.data.synthetic import (
+    ClassificationTaskConfig,
+    SegmentationTaskConfig,
+    generate_classification,
+    generate_segmentation,
+)
+from repro.data.datasets import Dataset, Normalizer, TaskSuite, cifar_like, imagenet_like, voc_like
+from repro.data.corruptions import (
+    CORRUPTION_CATEGORIES,
+    available_corruptions,
+    corrupt,
+)
+from repro.data.noise import add_uniform_noise
+from repro.data.shifted import shifted_test_set
+from repro.data.augmentation import CorruptionAugmenter, random_crop_flip
+from repro.data.loaders import iterate_minibatches
+
+__all__ = [
+    "ClassificationTaskConfig",
+    "SegmentationTaskConfig",
+    "generate_classification",
+    "generate_segmentation",
+    "Dataset",
+    "Normalizer",
+    "TaskSuite",
+    "cifar_like",
+    "imagenet_like",
+    "voc_like",
+    "corrupt",
+    "available_corruptions",
+    "CORRUPTION_CATEGORIES",
+    "add_uniform_noise",
+    "shifted_test_set",
+    "random_crop_flip",
+    "CorruptionAugmenter",
+    "iterate_minibatches",
+]

@@ -1,0 +1,79 @@
+"""Training-time augmentation.
+
+``random_crop_flip`` is the standard CIFAR recipe (pad-and-crop plus
+horizontal flip).  :class:`CorruptionAugmenter` implements the robust
+(re-)training protocol of Section 6 / Table 11: each sampled train image is
+corrupted with one of the *train-distribution* corruptions — or left clean —
+chosen uniformly at random.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data import corruptions as corr
+from repro.utils.rng import as_rng
+
+
+def random_crop_flip(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    pad: int = 2,
+    flip_prob: float = 0.5,
+) -> np.ndarray:
+    """Random pad-and-crop plus horizontal flip for an NCHW batch."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="reflect")
+    out = np.empty_like(images)
+    tops = rng.integers(0, 2 * pad + 1, size=n)
+    lefts = rng.integers(0, 2 * pad + 1, size=n)
+    flips = rng.random(n) < flip_prob
+    for i in range(n):
+        crop = padded[i, :, tops[i] : tops[i] + h, lefts[i] : lefts[i] + w]
+        out[i] = crop[:, :, ::-1] if flips[i] else crop
+    return out
+
+
+class CorruptionAugmenter:
+    """Corrupt each train image with a uniformly chosen train-set corruption.
+
+    Parameters
+    ----------
+    corruption_names:
+        The train-distribution corruptions (Table 11 left column).
+    severity:
+        Severity level applied during training (paper uses 3).
+    include_clean:
+        Whether "no corruption" is one of the uniform choices (it is in the
+        paper's protocol).
+    """
+
+    def __init__(
+        self,
+        corruption_names: Sequence[str],
+        severity: int = 3,
+        include_clean: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        unknown = set(corruption_names) - set(corr.available_corruptions())
+        if unknown:
+            raise ValueError(f"unknown corruptions: {sorted(unknown)}")
+        self.corruption_names = list(corruption_names)
+        self.severity = severity
+        self.include_clean = include_clean
+        self.rng = as_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        """Return a batch with per-image random corruptions applied."""
+        n_choices = len(self.corruption_names) + int(self.include_clean)
+        choice = self.rng.integers(0, n_choices, size=len(images))
+        out = images.copy()
+        for idx, name in enumerate(self.corruption_names):
+            selected = choice == idx
+            if selected.any():
+                out[selected] = corr.corrupt(
+                    images[selected], name, self.severity, seed=self.rng
+                )
+        return out

@@ -1,0 +1,201 @@
+"""Dataset containers and the task suites used throughout the experiments.
+
+A :class:`TaskSuite` bundles everything the paper needs from a data set:
+nominal train/test splits, the shifted resample (CIFAR10.1 analog), the
+corruption suite (CIFAR10-C analog), and the normalization statistics that
+define the space in which ℓ∞ noise is injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.data import corruptions as corr
+from repro.data.synthetic import (
+    ClassificationTaskConfig,
+    SegmentationTaskConfig,
+    generate_classification,
+    generate_segmentation,
+    shifted_config,
+)
+
+
+@dataclass
+class Dataset:
+    """Images plus labels (sparse for classification, dense for segmentation)."""
+
+    images: np.ndarray  # (N, C, H, W) float32 in [0, 1]
+    labels: np.ndarray  # (N,) or (N, H, W) int64
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got {self.images.shape}")
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"images/labels length mismatch: {len(self.images)} vs {len(self.labels)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        return Dataset(self.images[indices], self.labels[indices], name or self.name)
+
+    def map_images(self, fn, name: str | None = None) -> "Dataset":
+        """New dataset with ``fn`` applied to the image array."""
+        return Dataset(fn(self.images), self.labels, name or self.name)
+
+
+@dataclass(frozen=True)
+class Normalizer:
+    """Per-channel standardization fitted on the train split."""
+
+    mean: np.ndarray  # (C,)
+    std: np.ndarray  # (C,)
+
+    @classmethod
+    def fit(cls, images: np.ndarray) -> "Normalizer":
+        mean = images.mean(axis=(0, 2, 3)).astype(np.float32)
+        std = (images.std(axis=(0, 2, 3)) + 1e-6).astype(np.float32)
+        return cls(mean=mean, std=std)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        shape = (1, -1, 1, 1)
+        return (images - self.mean.reshape(shape)) / self.std.reshape(shape)
+
+    def invert(self, images: np.ndarray) -> np.ndarray:
+        shape = (1, -1, 1, 1)
+        return images * self.std.reshape(shape) + self.mean.reshape(shape)
+
+
+@dataclass
+class TaskSuite:
+    """A complete task: nominal splits plus every distribution shift.
+
+    Attributes
+    ----------
+    config:
+        The generative config (classification or segmentation).
+    n_train, n_test:
+        Split sizes; all splits are generated deterministically on demand
+        and cached in process.
+    """
+
+    config: ClassificationTaskConfig | SegmentationTaskConfig
+    n_train: int = 2000
+    n_test: int = 1000
+    name: str = "synth"
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def is_segmentation(self) -> bool:
+        return isinstance(self.config, SegmentationTaskConfig)
+
+    @property
+    def num_classes(self) -> int:
+        if self.is_segmentation:
+            return self.config.num_classes + 1  # + background
+        return self.config.num_classes
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        return (3, self.config.image_size, self.config.image_size)
+
+    def _generate(self, split: str, n: int) -> Dataset:
+        key = (split, n)
+        if key not in self._cache:
+            if self.is_segmentation:
+                images, labels = generate_segmentation(self.config, n, split)
+            else:
+                images, labels = generate_classification(self.config, n, split)
+            self._cache[key] = Dataset(images, labels, f"{self.name}/{split}")
+        return self._cache[key]
+
+    def train_set(self) -> Dataset:
+        return self._generate("train", self.n_train)
+
+    def test_set(self) -> Dataset:
+        return self._generate("test", self.n_test)
+
+    def shifted_test_set(self) -> Dataset:
+        """The CIFAR10.1-analog: a resample under a mild generative shift."""
+        key = ("shifted-v2", self.n_test)
+        if key not in self._cache:
+            if self.is_segmentation:
+                raise NotImplementedError("shifted split is defined for classification")
+            cfg = shifted_config(self.config)
+            images, labels = generate_classification(
+                cfg, self.n_test, "shifted", jitter_scale=1.3
+            )
+            self._cache[key] = Dataset(images, labels, f"{self.name}/shifted")
+        return self._cache[key]
+
+    def corrupted_test_set(self, corruption: str, severity: int = 3) -> Dataset:
+        """Test split with one corruption applied (the -C suite analog)."""
+        key = ("corrupted", corruption, severity, self.n_test)
+        if key not in self._cache:
+            base = self.test_set()
+            images = corr.corrupt(
+                base.images, corruption, severity, seed=self.config.seed + severity
+            )
+            self._cache[key] = Dataset(
+                images, base.labels, f"{self.name}/{corruption}@{severity}"
+            )
+        return self._cache[key]
+
+    def normalizer(self) -> Normalizer:
+        if "normalizer" not in self._cache:
+            self._cache["normalizer"] = Normalizer.fit(self.train_set().images)
+        return self._cache["normalizer"]
+
+
+@lru_cache(maxsize=None)
+def cifar_like(
+    seed: int = 0,
+    n_train: int = 2000,
+    n_test: int = 1000,
+    image_size: int = 16,
+    num_classes: int = 10,
+) -> TaskSuite:
+    """The CIFAR10 stand-in: 10 classes of small textured images."""
+    cfg = ClassificationTaskConfig(
+        num_classes=num_classes, image_size=image_size, seed=seed
+    )
+    return TaskSuite(cfg, n_train, n_test, name="synth-cifar")
+
+
+@lru_cache(maxsize=None)
+def imagenet_like(
+    seed: int = 0,
+    n_train: int = 3000,
+    n_test: int = 1000,
+    image_size: int = 24,
+    num_classes: int = 20,
+) -> TaskSuite:
+    """The ImageNet stand-in: more classes at higher resolution."""
+    cfg = ClassificationTaskConfig(
+        num_classes=num_classes,
+        image_size=image_size,
+        seed=seed + 7,
+        distractor_amplitude=0.22,
+    )
+    return TaskSuite(cfg, n_train, n_test, name="synth-imagenet")
+
+
+@lru_cache(maxsize=None)
+def voc_like(
+    seed: int = 0,
+    n_train: int = 800,
+    n_test: int = 300,
+    image_size: int = 24,
+    num_classes: int = 5,
+) -> TaskSuite:
+    """The Pascal-VOC stand-in: dense per-pixel labelling."""
+    cfg = SegmentationTaskConfig(
+        num_classes=num_classes, image_size=image_size, seed=seed + 13
+    )
+    return TaskSuite(cfg, n_train, n_test, name="synth-voc")

@@ -1,0 +1,35 @@
+"""Minibatch iteration."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def iterate_minibatches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | int | None = None,
+    shuffle: bool = True,
+    augment: Callable[[np.ndarray], np.ndarray] | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels)`` minibatches, optionally shuffled/augmented."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = len(images)
+    order = np.arange(n)
+    if shuffle:
+        as_rng(rng).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        batch = images[idx]
+        if augment is not None:
+            batch = augment(batch)
+        yield batch, labels[idx]

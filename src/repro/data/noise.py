@@ -1,0 +1,33 @@
+"""ℓ∞-bounded uniform input noise (Sections 4.1 and 5.2 of the paper).
+
+The paper injects ``U(-eps, eps)`` noise into the *normalized* input, so the
+helpers here operate on whatever representation the caller passes; the
+evaluation code applies them after normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def add_uniform_noise(
+    x: np.ndarray,
+    eps: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Return ``x + U(-eps, eps)`` noise of the same shape."""
+    if eps < 0:
+        raise ValueError(f"eps must be >= 0, got {eps}")
+    if eps == 0:
+        return x.copy()
+    rng = as_rng(rng)
+    return x + rng.uniform(-eps, eps, size=x.shape).astype(x.dtype)
+
+
+def noise_sweep(eps_max: float = 0.5, n_levels: int = 6) -> np.ndarray:
+    """Evenly spaced noise levels from 0 to ``eps_max`` (Fig. 1 x-axis)."""
+    if n_levels < 2:
+        raise ValueError(f"need at least 2 levels, got {n_levels}")
+    return np.linspace(0.0, eps_max, n_levels)

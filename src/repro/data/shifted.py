@@ -1,0 +1,17 @@
+"""The CIFAR10.1-analog: a freshly sampled, mildly shifted test set.
+
+Recht et al. (2018) built CIFAR10.1 by re-collecting a CIFAR-like test set;
+classifiers drop a few points of accuracy on it despite there being no
+explicit corruption.  We reproduce the role of that data set by resampling
+the synthetic generator under a slightly harder configuration (lower signal
+amplitude, higher jitter) with the *same class prototypes*.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import Dataset, TaskSuite
+
+
+def shifted_test_set(suite: TaskSuite) -> Dataset:
+    """The shifted resample for ``suite`` (classification tasks only)."""
+    return suite.shifted_test_set()

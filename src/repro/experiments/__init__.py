@@ -1,0 +1,66 @@
+"""Experiment harness: one entry point per paper table / figure.
+
+Experiments are parameterized by an :class:`ExperimentScale` (``SMOKE`` for
+benches/tests, ``FULL`` for longer runs) and share a disk-cached model zoo
+so parents and prune runs are trained once and reused across artifacts.
+
+See DESIGN.md §4 for the experiment index mapping paper artifacts to the
+functions in this package.
+"""
+
+from repro.experiments.config import FULL, SMOKE, ExperimentScale
+from repro.experiments.zoo import (
+    ZooSpec,
+    clear_cache,
+    get_parent_state,
+    get_prune_run,
+    make_model,
+    make_suite,
+    make_trainer,
+)
+from repro.experiments.prune_curves import (
+    PruneCurveResult,
+    prune_curve_experiment,
+    prune_summary_row,
+)
+from repro.experiments.noise_study import (
+    noise_potential_experiment,
+    noise_similarity_experiment,
+)
+from repro.experiments.similarity_study import backselect_heatmap_experiment
+from repro.experiments.corruption_study import (
+    corruption_excess_error_experiment,
+    corruption_potential_experiment,
+)
+from repro.experiments.robust_study import (
+    robust_excess_error_experiment,
+    robust_potential_experiment,
+)
+from repro.experiments.summary_tables import overparam_table, pr_fr_table
+from repro.experiments.delta_study import delta_sweep_experiment
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE",
+    "FULL",
+    "ZooSpec",
+    "make_suite",
+    "make_model",
+    "make_trainer",
+    "get_parent_state",
+    "get_prune_run",
+    "clear_cache",
+    "PruneCurveResult",
+    "prune_curve_experiment",
+    "prune_summary_row",
+    "noise_potential_experiment",
+    "noise_similarity_experiment",
+    "backselect_heatmap_experiment",
+    "corruption_potential_experiment",
+    "corruption_excess_error_experiment",
+    "robust_potential_experiment",
+    "robust_excess_error_experiment",
+    "pr_fr_table",
+    "overparam_table",
+    "delta_sweep_experiment",
+]

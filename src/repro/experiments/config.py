@@ -1,0 +1,107 @@
+"""Experiment scale presets.
+
+The paper's experiments train to completion on GPUs; ours run on CPU, so
+every experiment takes an :class:`ExperimentScale` controlling data size,
+training budget, and analysis sample counts.  ``SMOKE`` keeps each bench in
+the tens-of-seconds range; ``FULL`` is a longer configuration for offline
+runs.  Both preserve the protocol (iterative targets, δ = 0.5%, corruption
+severity 3, 2–3 repetitions with error bars).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that trade fidelity for compute."""
+
+    # task
+    n_train: int = 1000
+    n_test: int = 400
+    image_size: int = 16
+    num_classes: int = 10
+    # models
+    base_width: int = 4
+    # training (Tables 3/5/7 analog)
+    parent_epochs: int = 15
+    retrain_epochs: int = 3
+    # Corruption-augmented (robust) training converges more slowly; its
+    # budget is the nominal budget times this factor (Appendix E trains
+    # robust networks with the full recipe on the augmented distribution).
+    robust_epochs_factor: float = 2.0
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    warmup_epochs: float = 1.0
+    lr_decay_milestones: tuple[float, ...] = (0.5, 0.8)  # fractions of epochs
+    lr_decay_gamma: float = 0.1
+    # pipeline
+    target_ratios: tuple[float, ...] = (0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.96)
+    sample_size: int = 128
+    # analysis protocol
+    n_repetitions: int = 2
+    delta: float = 0.005
+    severity: int = 3
+    noise_levels: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+    noise_trials: int = 5
+    noise_images: int = 200
+    backselect_images: int = 8
+    backselect_pixels_per_step: int = 8
+    backselect_keep_fraction: float = 0.1
+    base_seed: int = 0
+
+    # Fields that do NOT change trained artifacts (analysis protocol only);
+    # excluded from the cache digest so tuning them never retrains the zoo.
+    _ANALYSIS_FIELDS = (
+        "n_repetitions",
+        "delta",
+        "noise_levels",
+        "noise_trials",
+        "noise_images",
+        "backselect_images",
+        "backselect_pixels_per_step",
+        "backselect_keep_fraction",
+    )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    def digest(self) -> str:
+        """Short stable hash of the *training-relevant* configuration.
+
+        Used in zoo cache keys: two scales that train identical artifacts
+        (same task, model width, recipe, prune schedule) share a digest even
+        if their analysis protocol (noise levels, repetitions, δ) differs.
+        """
+        fields = {
+            k: v for k, v in asdict(self).items() if k not in self._ANALYSIS_FIELDS
+        }
+        return hashlib.sha1(json.dumps(fields, sort_keys=True).encode()).hexdigest()[:12]
+
+    def seed_for(self, repetition: int) -> int:
+        return self.base_seed + 1009 * repetition
+
+    def with_(self, **kwargs) -> "ExperimentScale":
+        return replace(self, **kwargs)
+
+
+SMOKE = ExperimentScale()
+
+FULL = ExperimentScale(
+    n_train=4000,
+    n_test=1000,
+    parent_epochs=30,
+    retrain_epochs=10,
+    base_width=8,
+    target_ratios=(0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.96, 0.98),
+    n_repetitions=3,
+    noise_trials=20,
+    noise_images=1000,
+    backselect_images=50,
+    backselect_pixels_per_step=4,
+)

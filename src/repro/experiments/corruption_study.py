@@ -1,0 +1,203 @@
+"""Corruption experiments: per-corruption prune potential (Fig. 6b/6e, 7,
+Appendix D.2/D.3) and the difference in excess error (Fig. 6c/6f, D.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.prune_potential import PruneAccuracyCurve, evaluate_curve
+from repro.analysis.regression import bootstrap_slope_ci, ols_slope_through_origin
+from repro.data.corruptions import available_corruptions
+from repro.data.datasets import Dataset, TaskSuite
+from repro.experiments.config import ExperimentScale
+from repro.experiments.memo import memoize
+from repro.experiments.zoo import ZooSpec, get_prune_run, make_model, make_suite
+
+
+def corruption_datasets(
+    suite: TaskSuite,
+    scale: ExperimentScale,
+    corruptions: Sequence[str] | None = None,
+    include_shifted: bool = True,
+) -> dict[str, Dataset]:
+    """Named evaluation distributions: nominal + shifted + corruptions."""
+    names = list(corruptions) if corruptions is not None else available_corruptions()
+    out: dict[str, Dataset] = {"nominal": suite.test_set()}
+    if include_shifted and not suite.is_segmentation:
+        out["shifted"] = suite.shifted_test_set()
+    for name in names:
+        out[name] = suite.corrupted_test_set(name, scale.severity)
+    return out
+
+
+@dataclass
+class CorruptionPotentialResult:
+    """Prune potential per distribution (Fig. 6b/6e bars)."""
+
+    task_name: str
+    model_name: str
+    method_name: str
+    distributions: list[str]
+    potentials: np.ndarray  # (R, D)
+    curves: dict[str, list[PruneAccuracyCurve]]  # per distribution, per rep
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.potentials.mean(axis=0)
+
+    @property
+    def std(self) -> np.ndarray:
+        return self.potentials.std(axis=0)
+
+    def potential_of(self, distribution: str) -> np.ndarray:
+        return self.potentials[:, self.distributions.index(distribution)]
+
+
+@memoize
+def corruption_potential_experiment(
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    corruptions: Sequence[str] | None = None,
+    robust: bool = False,
+) -> CorruptionPotentialResult:
+    """Prune potential on nominal, shifted, and every corrupted test set."""
+    suite = make_suite(task_name, scale)
+    normalizer = suite.normalizer()
+    datasets = corruption_datasets(suite, scale, corruptions)
+    names = list(datasets)
+    potentials = np.zeros((scale.n_repetitions, len(names)))
+    curves: dict[str, list[PruneAccuracyCurve]] = {n: [] for n in names}
+    for rep in range(scale.n_repetitions):
+        spec = ZooSpec(task_name, model_name, method_name, rep, robust)
+        run = get_prune_run(spec, scale)
+        model = make_model(spec, suite, scale)
+        for di, dist_name in enumerate(names):
+            curve = evaluate_curve(run, model, datasets[dist_name], normalizer)
+            curves[dist_name].append(curve)
+            potentials[rep, di] = curve.potential(scale.delta)
+    return CorruptionPotentialResult(
+        task_name=task_name,
+        model_name=model_name,
+        method_name=method_name,
+        distributions=names,
+        potentials=potentials,
+        curves=curves,
+    )
+
+
+@dataclass
+class SeveritySweepResult:
+    """Prune potential per corruption severity level (an ablation on the
+    paper's fixed choice of severity 3)."""
+
+    task_name: str
+    model_name: str
+    method_name: str
+    corruption: str
+    severities: tuple[int, ...]
+    potentials: np.ndarray  # (R, S)
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.potentials.mean(axis=0)
+
+
+@memoize
+def severity_sweep_experiment(
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    corruption: str = "gaussian_noise",
+    severities: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> SeveritySweepResult:
+    """Prune potential of one corruption across severity levels."""
+    suite = make_suite(task_name, scale)
+    normalizer = suite.normalizer()
+    potentials = np.zeros((scale.n_repetitions, len(severities)))
+    for rep in range(scale.n_repetitions):
+        spec = ZooSpec(task_name, model_name, method_name, rep)
+        run = get_prune_run(spec, scale)
+        model = make_model(spec, suite, scale)
+        for si, severity in enumerate(severities):
+            dataset = suite.corrupted_test_set(corruption, severity)
+            curve = evaluate_curve(run, model, dataset, normalizer)
+            potentials[rep, si] = curve.potential(scale.delta)
+    return SeveritySweepResult(
+        task_name=task_name,
+        model_name=model_name,
+        method_name=method_name,
+        corruption=corruption,
+        severities=tuple(severities),
+        potentials=potentials,
+    )
+
+
+@dataclass
+class ExcessErrorStudyResult:
+    """Difference in excess error with its OLS fit (Fig. 6c/6f)."""
+
+    task_name: str
+    model_name: str
+    method_name: str
+    ratios: np.ndarray  # (K,)
+    differences: np.ndarray  # (R, K)
+    slope: float
+    slope_ci: tuple[float, float]
+
+
+def corruption_excess_error_experiment(
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    corruptions: Sequence[str] | None = None,
+    robust: bool = False,
+) -> ExcessErrorStudyResult:
+    """``ê − e`` per prune ratio, averaged over the corruption suite.
+
+    Built from the (memoized) per-distribution curves of
+    :func:`corruption_potential_experiment`, so sharing a bench process with
+    the potential experiments costs no extra model evaluations.
+    """
+    base = corruption_potential_experiment(
+        task_name, model_name, method_name, scale,
+        corruptions=tuple(corruptions) if corruptions is not None else None,
+        robust=robust,
+    )
+    corruption_names = [
+        n for n in base.distributions if n not in ("nominal", "shifted")
+    ]
+    all_ratios, all_diffs = [], []
+    for rep in range(scale.n_repetitions):
+        nominal_curve = base.curves["nominal"][rep]
+        ood_errors = np.mean(
+            [base.curves[n][rep].errors for n in corruption_names], axis=0
+        )
+        ood_parent = float(
+            np.mean([base.curves[n][rep].parent_error for n in corruption_names])
+        )
+        parent_excess = ood_parent - nominal_curve.parent_error
+        all_ratios.append(nominal_curve.ratios)
+        all_diffs.append((ood_errors - nominal_curve.errors) - parent_excess)
+
+    ratios = np.mean(all_ratios, axis=0)
+    diffs = np.array(all_diffs)
+    x = np.tile(ratios, diffs.shape[0])
+    y = diffs.reshape(-1)
+    slope = ols_slope_through_origin(x, y)
+    ci = bootstrap_slope_ci(x, y, rng=scale.base_seed)
+    return ExcessErrorStudyResult(
+        task_name=task_name,
+        model_name=model_name,
+        method_name=method_name,
+        ratios=ratios,
+        differences=diffs,
+        slope=slope,
+        slope_ci=ci,
+    )

@@ -1,0 +1,56 @@
+"""δ-sensitivity of the prune potential (Appendix D.4, Fig. 38)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.corruption_study import corruption_potential_experiment
+
+DEFAULT_DELTAS: tuple[float, ...] = (0.0, 0.005, 0.01, 0.02, 0.05)
+
+
+@dataclass
+class DeltaSweepResult:
+    """Prune potential per (δ, distribution)."""
+
+    task_name: str
+    model_name: str
+    method_name: str
+    deltas: np.ndarray  # (J,)
+    distributions: list[str]
+    potentials: np.ndarray  # (J, R, D)
+
+    def mean(self) -> np.ndarray:
+        """(J, D) potentials averaged over repetitions."""
+        return self.potentials.mean(axis=1)
+
+
+def delta_sweep_experiment(
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    corruptions: Sequence[str] | None = None,
+) -> DeltaSweepResult:
+    """Re-extract prune potentials from the same curves at several δ."""
+    base = corruption_potential_experiment(
+        task_name, model_name, method_name, scale, corruptions
+    )
+    potentials = np.zeros((len(deltas), scale.n_repetitions, len(base.distributions)))
+    for ji, delta in enumerate(deltas):
+        for di, dist in enumerate(base.distributions):
+            for rep, curve in enumerate(base.curves[dist]):
+                potentials[ji, rep, di] = curve.potential(delta)
+    return DeltaSweepResult(
+        task_name=task_name,
+        model_name=model_name,
+        method_name=method_name,
+        deltas=np.asarray(deltas, dtype=float),
+        distributions=base.distributions,
+        potentials=potentials,
+    )

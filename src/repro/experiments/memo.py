@@ -1,0 +1,39 @@
+"""In-process memoization for experiment entry points.
+
+Benches compose experiments (e.g. the overparameterization table reuses the
+corruption-potential curves), so top-level experiment functions are memoized
+for the lifetime of the process.  Arguments are normalized — lists become
+tuples — and must otherwise be hashable (``ExperimentScale`` is a frozen
+dataclass).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def _normalize(value):
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def memoize(fn: F) -> F:
+    """Cache results keyed by normalized positional + keyword arguments."""
+    cache: dict = {}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        key = (
+            tuple(_normalize(a) for a in args),
+            tuple(sorted((k, _normalize(v)) for k, v in kwargs.items())),
+        )
+        if key not in cache:
+            cache[key] = fn(*args, **kwargs)
+        return cache[key]
+
+    wrapper.cache_clear = cache.clear  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

@@ -1,0 +1,135 @@
+"""Prune-accuracy curves and PR/FR summaries (Fig. 2/9/10/11, Tables 4/6/8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.prune_potential import prune_potential_from_curve
+from repro.experiments.config import ExperimentScale
+from repro.experiments.memo import memoize
+from repro.experiments.zoo import ZooSpec, get_prune_run, make_model, make_suite
+from repro.nn.flops import count_flops
+from repro.pruning.pipeline import PruneRun
+
+
+@dataclass
+class PruneCurveResult:
+    """Prune-accuracy curve of one (task, model, method) over repetitions."""
+
+    task_name: str
+    model_name: str
+    method_name: str
+    ratios: np.ndarray  # (K,) mean achieved ratios over repetitions
+    errors: np.ndarray  # (R, K) nominal test error per repetition/checkpoint
+    parent_errors: np.ndarray  # (R,)
+    flop_reductions: np.ndarray  # (R, K)
+
+    @property
+    def error_mean(self) -> np.ndarray:
+        return self.errors.mean(axis=0)
+
+    @property
+    def error_std(self) -> np.ndarray:
+        return self.errors.std(axis=0)
+
+    @property
+    def accuracy_drop(self) -> np.ndarray:
+        """Mean (error - parent error) per checkpoint, the Fig. 9 y-axis."""
+        return (self.errors - self.parent_errors[:, None]).mean(axis=0)
+
+
+def _flop_reductions(
+    run: PruneRun, spec: ZooSpec, scale: ExperimentScale
+) -> np.ndarray:
+    suite = make_suite(spec.task_name, scale)
+    model = make_model(spec, suite, scale)
+    model.load_state_dict(run.parent_state)
+    base = count_flops(model, suite.input_shape)
+    out = []
+    for ckpt in run.checkpoints:
+        model.load_state_dict(ckpt.state)
+        out.append(1.0 - count_flops(model, suite.input_shape) / base)
+    return np.array(out)
+
+
+@memoize
+def prune_curve_experiment(
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    robust: bool = False,
+) -> PruneCurveResult:
+    """Build (or load) all repetitions and collect the nominal curve."""
+    ratios, errors, parents, frs = [], [], [], []
+    for rep in range(scale.n_repetitions):
+        spec = ZooSpec(task_name, model_name, method_name, rep, robust)
+        run = get_prune_run(spec, scale)
+        ratios.append(run.ratios)
+        errors.append(run.test_errors)
+        parents.append(run.parent_test_error)
+        frs.append(_flop_reductions(run, spec, scale))
+    return PruneCurveResult(
+        task_name=task_name,
+        model_name=model_name,
+        method_name=method_name,
+        ratios=np.mean(ratios, axis=0),
+        errors=np.array(errors),
+        parent_errors=np.array(parents),
+        flop_reductions=np.array(frs),
+    )
+
+
+@dataclass
+class PruneSummaryRow:
+    """One row of Table 4/6/8: best commensurate-accuracy operating point."""
+
+    model_name: str
+    method_name: str
+    orig_error: float
+    error_delta: float  # pruned error - original error at the chosen point
+    prune_ratio: float  # PR (%)
+    flop_reduction: float  # FR (%)
+    commensurate: bool = field(default=True)
+
+
+def prune_summary_row(
+    result: PruneCurveResult, delta: float = 0.005
+) -> PruneSummaryRow:
+    """The maximal PR (and its FR) with error within ``delta`` of the parent.
+
+    Falls back to the closest-error checkpoint when no checkpoint is
+    commensurate, as the paper's table captions describe.
+    """
+    err_mean = result.error_mean
+    parent = float(result.parent_errors.mean())
+    ok = err_mean <= parent + delta
+    if ok.any():
+        idx = int(np.where(ok)[0].max())
+        commensurate = True
+    else:
+        idx = int(np.argmin(err_mean))
+        commensurate = False
+    return PruneSummaryRow(
+        model_name=result.model_name,
+        method_name=result.method_name,
+        orig_error=parent,
+        error_delta=float(err_mean[idx] - parent),
+        prune_ratio=float(result.ratios[idx]),
+        flop_reduction=float(result.flop_reductions.mean(axis=0)[idx]),
+        commensurate=commensurate,
+    )
+
+
+def nominal_potential(result: PruneCurveResult, delta: float = 0.005) -> np.ndarray:
+    """Per-repetition prune potential on the nominal test distribution."""
+    return np.array(
+        [
+            prune_potential_from_curve(
+                result.ratios, result.errors[r], result.parent_errors[r], delta
+            )
+            for r in range(result.errors.shape[0])
+        ]
+    )

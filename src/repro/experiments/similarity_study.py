@@ -1,0 +1,91 @@
+"""Informative-feature transfer heatmaps (Fig. 3, Appendix C.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.backselect import cross_model_confidence_matrix
+from repro.experiments.config import ExperimentScale
+from repro.experiments.zoo import ZooSpec, get_parent_state, get_prune_run, make_model, make_suite
+
+
+@dataclass
+class BackselectHeatmapResult:
+    """Cross-model confidence heatmap over [parent, pruned..., separate]."""
+
+    task_name: str
+    model_name: str
+    method_name: str
+    labels: list[str]  # row/column names
+    heatmap: np.ndarray  # (M, M); rows = pixel source, cols = evaluator
+
+    def parent_row(self) -> np.ndarray:
+        """Confidence of every model on the parent's informative pixels."""
+        return self.heatmap[0]
+
+    def separate_index(self) -> int:
+        return len(self.labels) - 1
+
+
+def backselect_heatmap_experiment(
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    repetition: int = 0,
+    n_pruned: int = 5,
+    corrupted: str | None = None,
+) -> BackselectHeatmapResult:
+    """Fig. 3: parent, ``n_pruned`` pruned nets of growing ratio, separate net.
+
+    ``corrupted`` selects a corruption name to draw the probe images from
+    (Appendix C.1.2); ``None`` uses nominal test images.
+    """
+    suite = make_suite(task_name, scale)
+    normalizer = suite.normalizer()
+    if corrupted is None:
+        test = suite.test_set()
+    else:
+        test = suite.corrupted_test_set(corrupted, scale.severity)
+    images = normalizer(test.images[: scale.backselect_images])
+    labels = test.labels[: scale.backselect_images]
+
+    spec = ZooSpec(task_name, model_name, method_name, repetition)
+    run = get_prune_run(spec, scale)
+
+    models, names = [], []
+    parent = make_model(spec, suite, scale)
+    parent.load_state_dict(run.parent_state)
+    models.append(parent)
+    names.append("parent (PR=0)")
+
+    k = len(run.checkpoints)
+    picks = np.unique(np.linspace(0, k - 1, min(n_pruned, k)).round().astype(int))
+    for idx in picks:
+        pruned = make_model(spec, suite, scale)
+        pruned.load_state_dict(run.checkpoints[idx].state)
+        models.append(pruned)
+        names.append(f"PR={run.checkpoints[idx].achieved_ratio:.2f}")
+
+    sep_spec = ZooSpec(task_name, model_name, None, repetition + 1)
+    separate = make_model(sep_spec, suite, scale)
+    separate.load_state_dict(get_parent_state(sep_spec, scale))
+    models.append(separate)
+    names.append("separate")
+
+    heat = cross_model_confidence_matrix(
+        models,
+        images,
+        labels,
+        keep_fraction=scale.backselect_keep_fraction,
+        pixels_per_step=scale.backselect_pixels_per_step,
+    )
+    return BackselectHeatmapResult(
+        task_name=task_name,
+        model_name=model_name,
+        method_name=method_name,
+        labels=names,
+        heatmap=heat,
+    )

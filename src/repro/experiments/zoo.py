@@ -1,0 +1,179 @@
+"""Disk-cached model zoo: trained parents and prune runs.
+
+Every experiment needs (model, method, repetition) triples produced by
+PRUNERETRAIN.  Training them is the dominant cost, so the zoo caches two
+artifact kinds under ``REPRO_CACHE_DIR`` (default ``./.cache/repro``):
+
+- parent states, keyed by (task, model, repetition, robust, scale digest) —
+  shared across all pruning methods, as in the paper where each network is
+  trained once before pruning;
+- prune runs, additionally keyed by method.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import TaskSuite, cifar_like, imagenet_like, voc_like
+from repro.experiments.config import ExperimentScale
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.optim import MultiStepLR
+from repro.pruning import PruneRetrain, PruneRun, build_method
+from repro.training import TrainConfig, Trainer, default_robust_protocol
+from repro.utils.rng import as_rng
+from repro.utils.serialization import load_state, save_state
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".cache/repro"))
+
+
+def clear_cache() -> None:
+    """Delete all cached zoo artifacts."""
+    root = cache_dir()
+    if root.exists():
+        for path in root.glob("*.npz"):
+            path.unlink()
+
+
+@dataclass(frozen=True)
+class ZooSpec:
+    """Identity of one zoo artifact."""
+
+    task_name: str = "cifar"  # cifar | imagenet | voc
+    model_name: str = "resnet20"
+    method_name: str | None = None
+    repetition: int = 0
+    robust: bool = False
+
+    def key(self, scale: ExperimentScale) -> str:
+        method = self.method_name or "parent"
+        robust = "robust" if self.robust else "nominal"
+        return (
+            f"{self.task_name}-{self.model_name}-{method}-rep{self.repetition}"
+            f"-{robust}-{scale.digest()}"
+        )
+
+
+def make_suite(task_name: str, scale: ExperimentScale) -> TaskSuite:
+    """The task suite for one of the paper's three data-set roles."""
+    if task_name == "cifar":
+        return cifar_like(
+            seed=scale.base_seed,
+            n_train=scale.n_train,
+            n_test=scale.n_test,
+            image_size=scale.image_size,
+            num_classes=scale.num_classes,
+        )
+    if task_name == "imagenet":
+        return imagenet_like(
+            seed=scale.base_seed,
+            n_train=scale.n_train,
+            n_test=scale.n_test,
+            image_size=scale.image_size + 8,
+            num_classes=2 * scale.num_classes,
+        )
+    if task_name == "voc":
+        return voc_like(
+            seed=scale.base_seed,
+            n_train=max(scale.n_train // 2, 100),
+            n_test=max(scale.n_test // 2, 50),
+            image_size=scale.image_size + 8,
+        )
+    raise ValueError(f"unknown task {task_name!r}; choose cifar, imagenet, or voc")
+
+
+def make_model(spec: ZooSpec, suite: TaskSuite, scale: ExperimentScale) -> Module:
+    """Freshly initialized model for ``spec`` (deterministic per repetition)."""
+    seed = scale.seed_for(spec.repetition)
+    return build_model(
+        spec.model_name,
+        num_classes=suite.num_classes,
+        base_width=scale.base_width,
+        rng=as_rng(seed),
+    )
+
+
+def make_trainer(
+    model: Module, suite: TaskSuite, scale: ExperimentScale, spec: ZooSpec
+) -> Trainer:
+    """Trainer with the scale's recipe; robust specs get corruption augmentation."""
+    parent_epochs = scale.parent_epochs
+    if spec.robust:
+        parent_epochs = int(round(parent_epochs * scale.robust_epochs_factor))
+    config = TrainConfig(
+        epochs=parent_epochs,
+        batch_size=scale.batch_size,
+        lr=scale.lr,
+        momentum=scale.momentum,
+        weight_decay=scale.weight_decay,
+        warmup_epochs=scale.warmup_epochs,
+        schedule=MultiStepLR(
+            [m * parent_epochs for m in scale.lr_decay_milestones],
+            scale.lr_decay_gamma,
+        ),
+        retrain_schedule=MultiStepLR(
+            [m * scale.retrain_epochs for m in scale.lr_decay_milestones],
+            scale.lr_decay_gamma,
+        ),
+        seed=scale.seed_for(spec.repetition) + 17,
+    )
+    augment_fn = None
+    if spec.robust:
+        protocol = default_robust_protocol(scale.severity)
+        augment_fn = protocol.augmenter(rng=scale.seed_for(spec.repetition) + 29)
+    return Trainer(model, suite, config, augment_fn=augment_fn)
+
+
+def get_parent_state(spec: ZooSpec, scale: ExperimentScale) -> dict[str, np.ndarray]:
+    """Trained parent weights (cached)."""
+    parent_spec = ZooSpec(
+        spec.task_name, spec.model_name, None, spec.repetition, spec.robust
+    )
+    path = cache_dir() / f"{parent_spec.key(scale)}.npz"
+    if path.exists():
+        arrays, _ = load_state(path)
+        return arrays
+    suite = make_suite(spec.task_name, scale)
+    model = make_model(parent_spec, suite, scale)
+    trainer = make_trainer(model, suite, scale, parent_spec)
+    trainer.train()
+    state = model.state_dict()
+    save_state(path, state, {"spec": parent_spec.key(scale)})
+    return state
+
+
+def get_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
+    """A complete PRUNERETRAIN run (cached); requires ``method_name``."""
+    if spec.method_name is None:
+        raise ValueError("get_prune_run needs a method_name")
+    path = cache_dir() / f"{spec.key(scale)}.npz"
+    if path.exists():
+        return PruneRun.load(path)
+
+    suite = make_suite(spec.task_name, scale)
+    model = make_model(spec, suite, scale)
+    model.load_state_dict(get_parent_state(spec, scale))
+    trainer = make_trainer(model, suite, scale, spec)
+    pipeline = PruneRetrain(
+        trainer,
+        build_method(spec.method_name),
+        retrain_epochs=scale.retrain_epochs,
+        sample_size=scale.sample_size,
+    )
+    run = pipeline.run(target_ratios=scale.target_ratios)
+    run.meta.update(
+        {
+            "task": spec.task_name,
+            "model": spec.model_name,
+            "repetition": spec.repetition,
+            "robust": spec.robust,
+        }
+    )
+    run.save(path)
+    return run

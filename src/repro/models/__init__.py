@@ -1,0 +1,36 @@
+"""Scaled-down members of the paper's architecture families.
+
+The paper evaluates ResNet20/56/110, VGG16, DenseNet22, and WRN16-8 on
+CIFAR10; ResNet18/101 on ImageNet; and DeeplabV3-ResNet50 on VOC.  We keep
+the *family structure* (depth pattern, residual/dense/plain connectivity,
+width multipliers, encoder–decoder segmentation head) but shrink channel
+counts so the full prune–retrain study runs on CPU.
+"""
+
+from repro.models.mlp import MLP
+from repro.models.resnet import CifarResNet, resnet110, resnet18, resnet20, resnet56
+from repro.models.vgg import VGG, vgg16
+from repro.models.densenet import DenseNet, densenet22
+from repro.models.wideresnet import WideResNet, wrn16_8
+from repro.models.segnet import SegNet, deeplab_small
+from repro.models.registry import available_models, build_model, register_model
+
+__all__ = [
+    "MLP",
+    "CifarResNet",
+    "resnet20",
+    "resnet56",
+    "resnet110",
+    "resnet18",
+    "VGG",
+    "vgg16",
+    "DenseNet",
+    "densenet22",
+    "WideResNet",
+    "wrn16_8",
+    "SegNet",
+    "deeplab_small",
+    "build_model",
+    "register_model",
+    "available_models",
+]

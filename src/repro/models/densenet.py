@@ -1,0 +1,106 @@
+"""Densely connected networks (Huang et al., 2017).
+
+DenseNet22 without bottlenecks: three dense blocks of ``n`` 3x3 conv
+layers, each consuming the concatenation of all previous feature maps and
+emitting ``growth_rate`` channels; transitions halve channels and spatial
+size.  Depth 22 corresponds to ``n = 6``; the scaled default keeps the
+three-block structure with a smaller ``n`` and growth rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import ops
+from repro.utils.rng import as_rng
+
+
+class DenseLayer(nn.Module):
+    """BN-ReLU-Conv producing ``growth_rate`` new channels."""
+
+    def __init__(self, in_channels: int, growth_rate: int, rng=None):
+        super().__init__()
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.conv = nn.Conv2d(in_channels, growth_rate, 3, padding=1, bias=False, rng=rng)
+
+    def forward(self, x):
+        return self.conv(self.bn(x).relu())
+
+
+class DenseBlock(nn.Module):
+    def __init__(self, num_layers: int, in_channels: int, growth_rate: int, rng=None):
+        super().__init__()
+        self.layers = nn.ModuleList(
+            DenseLayer(in_channels + i * growth_rate, growth_rate, rng=rng)
+            for i in range(num_layers)
+        )
+        self.out_channels = in_channels + num_layers * growth_rate
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = ops.concatenate([x, layer(x)], axis=1)
+        return x
+
+
+class Transition(nn.Module):
+    """1x1 conv halving channels followed by 2x2 average pooling."""
+
+    def __init__(self, in_channels: int, rng=None):
+        super().__init__()
+        self.out_channels = in_channels // 2
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.conv = nn.Conv2d(in_channels, self.out_channels, 1, bias=False, rng=rng)
+        self.pool = nn.AvgPool2d(2)
+
+    def forward(self, x):
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class DenseNet(nn.Module):
+    """Three-dense-block network with transitions."""
+
+    def __init__(
+        self,
+        layers_per_block: int = 3,
+        growth_rate: int = 4,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        channels = 2 * growth_rate
+        self.stem = nn.Conv2d(in_channels, channels, 3, padding=1, bias=False, rng=rng)
+        blocks: list[nn.Module] = []
+        for i in range(3):
+            block = DenseBlock(layers_per_block, channels, growth_rate, rng=rng)
+            blocks.append(block)
+            channels = block.out_channels
+            if i < 2:
+                transition = Transition(channels, rng=rng)
+                blocks.append(transition)
+                channels = transition.out_channels
+        self.blocks = nn.Sequential(*blocks)
+        self.bn = nn.BatchNorm2d(channels)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.blocks(self.stem(x))
+        return self.fc(self.pool(self.bn(out).relu()))
+
+
+def densenet22(
+    num_classes: int = 10,
+    growth_rate: int | None = None,
+    base_width: int = 4,
+    rng=None,
+    **kwargs,
+) -> DenseNet:
+    """DenseNet22 family member (three blocks, no bottleneck).
+
+    ``base_width`` doubles as the growth rate so DenseNet scales with the
+    same knob as the other families.
+    """
+    return DenseNet(3, growth_rate or base_width, num_classes, rng=rng, **kwargs)

@@ -1,0 +1,33 @@
+"""Small multi-layer perceptron, used in tests and fast examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import as_rng
+
+
+class MLP(nn.Module):
+    """Flatten + stacked Linear/ReLU layers."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: tuple[int, ...] = (64, 64),
+        num_classes: int = 10,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        layers: list[nn.Module] = [nn.Flatten()]
+        features = in_features
+        for width in hidden:
+            layers.append(nn.Linear(features, width, rng=rng))
+            layers.append(nn.ReLU())
+            features = width
+        layers.append(nn.Linear(features, num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x):
+        return self.net(x)

@@ -1,0 +1,51 @@
+"""Name-based model construction, mirroring the paper's network zoo."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.module import Module
+
+_REGISTRY: dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, factory: Callable[..., Module]) -> None:
+    """Register ``factory`` under ``name`` (overwrites an existing entry)."""
+    _REGISTRY[name] = factory
+
+
+def available_models() -> list[str]:
+    """Names of all registered model factories."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def _register_defaults() -> None:
+    from repro.models import densenet, mlp, resnet, segnet, vgg, wideresnet
+
+    register_model("resnet20", resnet.resnet20)
+    register_model("resnet56", resnet.resnet56)
+    register_model("resnet110", resnet.resnet110)
+    register_model("resnet18", resnet.resnet18)
+    register_model("vgg16", vgg.vgg16)
+    register_model("densenet22", densenet.densenet22)
+    register_model("wrn16_8", wideresnet.wrn16_8)
+    register_model("deeplab_small", segnet.deeplab_small)
+    def _mlp_factory(num_classes=10, in_features=48, rng=None, base_width=None, **kw):
+        hidden = (16 * base_width,) * 2 if base_width else (64, 64)
+        return mlp.MLP(in_features, hidden=hidden, num_classes=num_classes, rng=rng, **kw)
+
+    register_model("mlp", _mlp_factory)
+
+
+_register_defaults()

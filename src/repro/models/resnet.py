@@ -1,0 +1,103 @@
+"""Residual networks (He et al., 2016) for small images.
+
+``CifarResNet`` follows the CIFAR variant: a 3x3 stem, three stages of
+``n`` basic blocks with channel widths ``(w, 2w, 4w)``, stride-2 stage
+transitions, global average pooling, and a linear classifier.  Depth is
+``6n + 2``, so ``n = 3, 9, 18`` gives ResNet20/56/110.  ``resnet18``
+approximates the ImageNet variant with four stages of two blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import as_rng
+
+
+class BasicBlock(nn.Module):
+    """conv-bn-relu-conv-bn plus a (projected) identity shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.conv1 = nn.Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class CifarResNet(nn.Module):
+    """CIFAR-style ResNet of depth ``6n + 2`` with base width ``w``."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        num_classes: int = 10,
+        base_width: int = 8,
+        in_channels: int = 3,
+        stage_strides: tuple[int, ...] = (1, 2, 2),
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        widths = [base_width * (2**i) for i in range(len(stage_strides))]
+        self.stem = nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(widths[0])
+        stages = []
+        channels = widths[0]
+        for width, stage_stride in zip(widths, stage_strides):
+            for i in range(num_blocks):
+                stride = stage_stride if i == 0 else 1
+                stages.append(BasicBlock(channels, width, stride=stride, rng=rng))
+                channels = width
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+        self.depth = 6 * num_blocks + 2
+
+    def forward(self, x):
+        out = self.bn(self.stem(x)).relu()
+        out = self.stages(out)
+        return self.fc(self.pool(out))
+
+
+def resnet20(num_classes: int = 10, base_width: int = 8, rng=None, **kwargs) -> CifarResNet:
+    """ResNet20 family member (n = 3)."""
+    return CifarResNet(3, num_classes, base_width, rng=rng, **kwargs)
+
+
+def resnet56(num_classes: int = 10, base_width: int = 8, rng=None, **kwargs) -> CifarResNet:
+    """ResNet56 family member (n = 9)."""
+    return CifarResNet(9, num_classes, base_width, rng=rng, **kwargs)
+
+
+def resnet110(num_classes: int = 10, base_width: int = 8, rng=None, **kwargs) -> CifarResNet:
+    """ResNet110 family member (n = 18)."""
+    return CifarResNet(18, num_classes, base_width, rng=rng, **kwargs)
+
+
+def resnet18(num_classes: int = 20, base_width: int = 8, rng=None, **kwargs) -> CifarResNet:
+    """ImageNet-style ResNet18 analog: four stages of two blocks."""
+    return CifarResNet(
+        2, num_classes, base_width, stage_strides=(1, 2, 2, 2), rng=rng, **kwargs
+    )

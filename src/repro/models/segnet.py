@@ -1,0 +1,66 @@
+"""Encoder–decoder segmentation network (DeeplabV3-ResNet50 analog).
+
+A compact encoder (residual blocks with two stride-2 reductions) followed
+by a decoder that upsamples back to input resolution and predicts a class
+per pixel.  Plays the role of DeeplabV3 on Pascal VOC in the paper's
+segmentation experiments (Table 8, Figs. 11/37/47).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.resnet import BasicBlock
+from repro.utils.rng import as_rng
+
+
+class SegNet(nn.Module):
+    """Residual encoder + upsampling decoder, logits shape (N, K, H, W)."""
+
+    def __init__(
+        self,
+        num_classes: int = 6,
+        base_width: int = 8,
+        in_channels: int = 3,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        w = base_width
+        self.stem = nn.Conv2d(in_channels, w, 3, padding=1, bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(w)
+        self.encoder = nn.Sequential(
+            BasicBlock(w, w, rng=rng),
+            BasicBlock(w, 2 * w, stride=2, rng=rng),
+            BasicBlock(2 * w, 4 * w, stride=2, rng=rng),
+            BasicBlock(4 * w, 4 * w, rng=rng),
+        )
+        self.decoder = nn.Sequential(
+            nn.UpsampleNearest2d(2),
+            nn.Conv2d(4 * w, 2 * w, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(2 * w),
+            nn.ReLU(),
+            nn.UpsampleNearest2d(2),
+            nn.Conv2d(2 * w, w, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(w),
+            nn.ReLU(),
+        )
+        self.classifier = nn.Conv2d(w, num_classes, 1, rng=rng)
+
+    def forward(self, x):
+        h, w = x.shape[2:]
+        if h % 4 or w % 4:
+            raise ValueError(
+                f"SegNet needs spatial dims divisible by 4 (two stride-2 "
+                f"stages + two 2x upsamples), got {h}x{w}"
+            )
+        out = self.bn(self.stem(x)).relu()
+        out = self.encoder(out)
+        out = self.decoder(out)
+        return self.classifier(out)
+
+
+def deeplab_small(num_classes: int = 6, base_width: int = 8, rng=None, **kwargs) -> SegNet:
+    """DeeplabV3 family analog for the synthetic VOC task."""
+    return SegNet(num_classes, base_width, rng=rng, **kwargs)

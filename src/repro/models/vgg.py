@@ -1,0 +1,53 @@
+"""VGG-style plain convolutional networks (Simonyan & Zisserman, 2015).
+
+``vgg16`` keeps VGG16's 13-conv/plain-feedforward structure with a
+batch-norm after each conv (the common CIFAR adaptation) but shrinks the
+channel progression by a configurable base width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import as_rng
+
+# VGG16 layout: channel multiplier per conv, "M" = 2x2 max pool.
+VGG16_LAYOUT: tuple = (1, 1, "M", 2, 2, "M", 4, 4, 4, "M", 8, 8, 8, "M", 8, 8, 8)
+
+
+class VGG(nn.Module):
+    """Plain conv network defined by a layout of width multipliers."""
+
+    def __init__(
+        self,
+        layout: tuple = VGG16_LAYOUT,
+        num_classes: int = 10,
+        base_width: int = 8,
+        in_channels: int = 3,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        layers: list[nn.Module] = []
+        channels = in_channels
+        for item in layout:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            width = int(item) * base_width
+            layers.append(nn.Conv2d(channels, width, 3, padding=1, bias=False, rng=rng))
+            layers.append(nn.BatchNorm2d(width))
+            layers.append(nn.ReLU())
+            channels = width
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.fc(self.pool(self.features(x)))
+
+
+def vgg16(num_classes: int = 10, base_width: int = 8, rng=None, **kwargs) -> VGG:
+    """VGG16 family member."""
+    return VGG(VGG16_LAYOUT, num_classes, base_width, rng=rng, **kwargs)

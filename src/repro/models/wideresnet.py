@@ -1,0 +1,80 @@
+"""Wide residual networks (Zagoruyko & Komodakis, 2016).
+
+WRN16-8: pre-activation residual blocks, depth 16 (two blocks per group)
+and widen factor 8.  The wide-and-shallow profile is the trait the paper's
+noise-robustness findings single out (Appendix D.1), so we preserve the
+depth/width ratio while shrinking the absolute base width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import as_rng
+
+
+class PreActBlock(nn.Module):
+    """BN-ReLU-Conv x2 pre-activation residual block."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1, rng=None):
+        super().__init__()
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.conv1 = nn.Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.needs_projection = stride != 1 or in_channels != out_channels
+        if self.needs_projection:
+            self.shortcut = nn.Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        pre = self.bn1(x).relu()
+        out = self.conv1(pre)
+        out = self.conv2(self.bn2(out).relu())
+        residual = self.shortcut(pre if self.needs_projection else x)
+        return out + residual
+
+
+class WideResNet(nn.Module):
+    """WRN-(6n+4)-k: three groups of ``n`` pre-activation blocks, width ``k``."""
+
+    def __init__(
+        self,
+        num_blocks: int = 2,
+        widen_factor: int = 4,
+        num_classes: int = 10,
+        base_width: int = 4,
+        in_channels: int = 3,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        widths = [base_width * widen_factor * (2**i) for i in range(3)]
+        self.stem = nn.Conv2d(in_channels, base_width, 3, padding=1, bias=False, rng=rng)
+        blocks: list[nn.Module] = []
+        channels = base_width
+        for group, width in enumerate(widths):
+            for i in range(num_blocks):
+                stride = 2 if group > 0 and i == 0 else 1
+                blocks.append(PreActBlock(channels, width, stride=stride, rng=rng))
+                channels = width
+        self.blocks = nn.Sequential(*blocks)
+        self.bn = nn.BatchNorm2d(channels)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+        self.depth = 6 * num_blocks + 4
+
+    def forward(self, x):
+        out = self.blocks(self.stem(x))
+        return self.fc(self.pool(self.bn(out).relu()))
+
+
+def wrn16_8(num_classes: int = 10, base_width: int = 4, rng=None, **kwargs) -> WideResNet:
+    """WRN16-8 family member (depth 16, wide groups)."""
+    return WideResNet(2, 4, num_classes, base_width, rng=rng, **kwargs)

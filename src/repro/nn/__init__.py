@@ -1,0 +1,45 @@
+"""Neural-network modules (the ``torch.nn`` analog).
+
+Modules own :class:`Parameter` tensors and numpy buffers, support recursive
+traversal / state dicts, and — because this library exists to study pruning —
+every weight-bearing layer carries a binary ``weight_mask`` buffer that the
+forward pass applies multiplicatively, so masked weights receive zero
+gradient during retraining.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.activation import ReLU, Sigmoid, Tanh
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d, UpsampleNearest2d
+from repro.nn.layers import Dropout, Flatten, Identity
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.flops import count_flops, flop_reduction
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "UpsampleNearest2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "CrossEntropyLoss",
+    "count_flops",
+    "flop_reduction",
+    "init",
+]

@@ -1,0 +1,57 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.prunable import PrunableWeightMixin
+from repro.utils.rng import as_rng
+
+
+class Conv2d(PrunableWeightMixin, Module):
+    """Convolution over NCHW input with a prunable weight.
+
+    Records the spatial size of its last output in ``last_output_hw`` so
+    that :mod:`repro.nn.flops` can account FLOPs without re-tracing.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), as_rng(rng)
+            )
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.last_output_hw: tuple[int, int] | None = None
+        self._init_mask()
+
+    def forward(self, x):
+        out = F.conv2d(
+            x, self.masked_weight, self.bias, stride=self.stride, padding=self.padding
+        )
+        self.last_output_hw = out.shape[2:]
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}"
+        )

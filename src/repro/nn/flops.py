@@ -1,0 +1,62 @@
+"""FLOP accounting for (pruned) models.
+
+The paper reports FR — the relative reduction in inference FLOPs of a
+pruned network (Tables 4/6/8).  We count multiply–accumulate-dominated
+FLOPs: unstructurally pruned weights are dead multiplies, so a layer's
+cost scales with the number of *unmasked* weights.
+
+A dummy forward pass traces output spatial sizes; :class:`Conv2d` records
+``last_output_hw`` during forward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import _BatchNorm
+
+
+def count_flops(model: Module, input_shape: tuple[int, ...]) -> int:
+    """Total forward FLOPs for one batch element of ``input_shape`` (C, H, W) or (F,)."""
+    was_training = model.training
+    model.eval()
+    dummy = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
+    with no_grad():
+        model(dummy)
+    model.train(was_training)
+
+    total = 0
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            if module.last_output_hw is None:
+                raise RuntimeError("conv layer was not reached by the trace forward")
+            oh, ow = module.last_output_hw
+            nnz = int(module.weight_mask.sum())
+            total += 2 * nnz * oh * ow
+            if module.bias is not None:
+                total += module.out_channels * oh * ow
+        elif isinstance(module, Linear):
+            nnz = int(module.weight_mask.sum())
+            total += 2 * nnz
+            if module.bias is not None:
+                total += module.out_features
+        elif isinstance(module, _BatchNorm):
+            # scale + shift per feature map element; spatial extent unknown
+            # for 2-D BN without tracing, so approximate with feature count.
+            total += 2 * module.num_features
+    return total
+
+
+def flop_reduction(
+    pruned: Module, unpruned: Module, input_shape: tuple[int, ...]
+) -> float:
+    """FR: fraction of FLOPs removed by pruning, in [0, 1]."""
+    base = count_flops(unpruned, input_shape)
+    now = count_flops(pruned, input_shape)
+    if base <= 0:
+        raise ValueError("unpruned model reports zero FLOPs")
+    return 1.0 - now / base

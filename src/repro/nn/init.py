@@ -1,0 +1,53 @@
+"""Weight initialization schemes (He / Xavier), matching the defaults the
+original architectures used."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """(fan_in, fan_out) for linear ``(out, in)`` or conv ``(F, C, KH, KW)``."""
+    if len(shape) == 2:
+        return shape[1], shape[0]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """He-normal init (gain for ReLU) as float32."""
+    fan_in, _ = _fan(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (as_rng(rng).standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """He-uniform init as float32."""
+    fan_in, _ = _fan(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return as_rng(rng).uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Glorot-uniform init as float32."""
+    fan_in, fan_out = _fan(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return as_rng(rng).uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

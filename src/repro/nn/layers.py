@@ -1,0 +1,40 @@
+"""Miscellaneous structural layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.nn.module import Module
+from repro.utils.rng import as_rng
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions."""
+
+    def forward(self, x):
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    """Pass-through module (used as a no-op shortcut)."""
+
+    def forward(self, x):
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = as_rng(rng)
+
+    def forward(self, x):
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,45 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.prunable import PrunableWeightMixin
+from repro.utils.rng import as_rng
+
+
+class Linear(PrunableWeightMixin, Module):
+    """Affine layer ``y = x W^T + b`` with a prunable weight.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), as_rng(rng)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self._init_mask()
+
+    def forward(self, x):
+        return F.linear(x, self.masked_weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}"

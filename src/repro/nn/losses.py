@@ -1,0 +1,22 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross entropy over logits.
+
+    Accepts either classification logits ``(N, K)`` with targets ``(N,)`` or
+    dense segmentation logits ``(N, K, H, W)`` with targets ``(N, H, W)``;
+    the dense case is flattened to per-pixel classification.
+    """
+
+    def forward(self, logits, targets):
+        if logits.ndim == 4:
+            n, k, h, w = logits.shape
+            logits = logits.transpose(0, 2, 3, 1).reshape(n * h * w, k)
+            targets = targets.reshape(-1)
+        return F.cross_entropy(logits, targets)

@@ -1,0 +1,56 @@
+"""Batch normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    """Shared implementation for 1-D / 2-D batch norm."""
+
+    _expected_ndim: int
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x):
+        if x.ndim != self._expected_ndim:
+            raise ValueError(
+                f"{type(self).__name__} expects {self._expected_ndim}-D input, got {x.shape}"
+            )
+        return F.batch_norm(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, momentum={self.momentum}, eps={self.eps}"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Per-channel batch norm over NCHW input."""
+
+    _expected_ndim = 4
+
+
+class BatchNorm1d(_BatchNorm):
+    """Per-feature batch norm over NC input."""
+
+    _expected_ndim = 2

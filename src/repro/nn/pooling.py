@@ -1,0 +1,57 @@
+"""Pooling and resampling modules."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling over NCHW input."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class AvgPool2d(Module):
+    """Average pooling over NCHW input."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial mean: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x):
+        return F.global_avg_pool2d(x)
+
+
+class UpsampleNearest2d(Module):
+    """Nearest-neighbour upsampling by an integer factor."""
+
+    def __init__(self, scale: int):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x):
+        return F.upsample_nearest2d(x, self.scale)
+
+    def extra_repr(self) -> str:
+        return f"scale={self.scale}"

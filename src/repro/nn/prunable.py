@@ -1,0 +1,61 @@
+"""Shared machinery for weight-bearing, prunable layers.
+
+Both :class:`~repro.nn.linear.Linear` and :class:`~repro.nn.conv.Conv2d`
+carry a binary ``weight_mask`` buffer the same shape as ``weight``.  The
+forward pass multiplies the weight by its mask, so
+
+- pruned weights contribute nothing to the output, and
+- their gradient is zero during retraining (the mask factors into the
+  chain rule), which is exactly the semantics of Algorithm 1 in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class PrunableWeightMixin:
+    """Adds ``weight_mask`` handling; host must define ``self.weight``."""
+
+    def _init_mask(self) -> None:
+        self.register_buffer("weight_mask", np.ones(self.weight.shape, dtype=np.float32))
+        self._mask_active = False
+
+    def set_weight_mask(self, mask: np.ndarray) -> None:
+        """Install a binary mask and zero the pruned weights in place."""
+        mask = np.asarray(mask, dtype=np.float32)
+        if mask.shape != self.weight.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != weight shape {self.weight.shape}"
+            )
+        if not np.isin(mask, (0.0, 1.0)).all():
+            raise ValueError("mask must be binary")
+        self.set_buffer("weight_mask", mask)
+        self.weight.data *= mask
+        self._mask_active = bool((mask == 0).any())
+
+    def reset_weight_mask(self) -> None:
+        """Remove all pruning from this layer."""
+        self.set_buffer("weight_mask", np.ones(self.weight.shape, dtype=np.float32))
+        self._mask_active = False
+
+    @property
+    def masked_weight(self) -> Tensor:
+        """The weight with the prune mask applied (graph-connected)."""
+        if self._mask_active:
+            return self.weight * Tensor(self.weight_mask)
+        return self.weight
+
+    @property
+    def num_pruned(self) -> int:
+        return int((self.weight_mask == 0).sum())
+
+    @property
+    def prune_ratio(self) -> float:
+        return self.num_pruned / self.weight_mask.size
+
+    def _sync_mask_state(self) -> None:
+        """Recompute cached mask state (after ``load_state_dict``)."""
+        self._mask_active = bool((self.weight_mask == 0).any())

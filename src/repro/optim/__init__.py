@@ -1,0 +1,21 @@
+"""Optimizers and learning-rate schedules (Tables 3/5/7 of the paper)."""
+
+from repro.optim.sgd import SGD
+from repro.optim.schedules import (
+    ConstantLR,
+    LRSchedule,
+    MultiStepLR,
+    PolynomialLR,
+    StepEveryLR,
+    WarmupLR,
+)
+
+__all__ = [
+    "SGD",
+    "LRSchedule",
+    "ConstantLR",
+    "MultiStepLR",
+    "StepEveryLR",
+    "PolynomialLR",
+    "WarmupLR",
+]

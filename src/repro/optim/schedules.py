@@ -1,0 +1,78 @@
+"""Learning-rate schedules.
+
+Schedules are pure functions of training progress: ``schedule(epoch)``
+returns the multiplicative factor applied to the base learning rate, where
+``epoch`` may be fractional (epoch + batch fraction) so warm-up and
+polynomial decay can update every step, as in the paper's recipes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+
+class LRSchedule(Protocol):
+    """A multiplicative learning-rate factor as a function of (fractional) epoch."""
+
+    def __call__(self, epoch: float) -> float: ...
+
+
+class ConstantLR:
+    """Factor 1 everywhere."""
+
+    def __call__(self, epoch: float) -> float:
+        return 1.0
+
+
+class MultiStepLR:
+    """Multiply by ``gamma`` at each milestone epoch (e.g. ``0.1@{91, 136}``)."""
+
+    def __init__(self, milestones: Sequence[float], gamma: float):
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def __call__(self, epoch: float) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.gamma**passed
+
+
+class StepEveryLR:
+    """Multiply by ``gamma`` every ``period`` epochs (e.g. ``0.5@{30, ...}``)."""
+
+    def __init__(self, period: float, gamma: float):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.gamma = gamma
+
+    def __call__(self, epoch: float) -> float:
+        return self.gamma ** int(epoch // self.period)
+
+
+class PolynomialLR:
+    """``(1 - epoch/total)^power`` decay, the DeeplabV3 recipe (Table 7)."""
+
+    def __init__(self, total_epochs: float, power: float = 0.9):
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.total_epochs = total_epochs
+        self.power = power
+
+    def __call__(self, epoch: float) -> float:
+        remaining = max(1.0 - epoch / self.total_epochs, 0.0)
+        return remaining**self.power
+
+
+class WarmupLR:
+    """Linear warm-up from 0 to the base schedule over ``warmup_epochs``."""
+
+    def __init__(self, base: LRSchedule, warmup_epochs: float):
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be >= 0, got {warmup_epochs}")
+        self.base = base
+        self.warmup_epochs = warmup_epochs
+
+    def __call__(self, epoch: float) -> float:
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.base(epoch) * (epoch / self.warmup_epochs)
+        return self.base(epoch)

@@ -1,0 +1,66 @@
+"""Stochastic gradient descent with momentum, Nesterov, and weight decay.
+
+Matches the PyTorch SGD update rule the paper's training recipes use:
+
+    v <- momentum * v + (grad + wd * w)
+    w <- w - lr * (v                    if not nesterov
+                   grad + wd*w + momentum*v  if nesterov)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """SGD optimizer over an explicit parameter list."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using each parameter's accumulated gradient."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += grad
+                grad = grad + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * grad
+
+    def reset_state(self) -> None:
+        """Clear momentum buffers (used when a retrain phase restarts)."""
+        self._velocity = [None] * len(self.params)

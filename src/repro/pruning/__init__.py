@@ -1,0 +1,46 @@
+"""Pruning methods and the PRUNERETRAIN pipeline (Algorithm 1).
+
+Four methods, as in Table 1 of the paper:
+
+============  ============  =============  ======================  ========
+Method        Type          Data-informed  Sensitivity             Scope
+============  ============  =============  ======================  ========
+WT            unstructured  no             ``|W_ij|``              global
+SiPP          unstructured  yes            ``∝ |W_ij a_j(x)|``     global
+FT            structured    no             ``‖W_:j‖₁``             local
+PFP           structured    yes            ``∝ ‖W_:j a(x)‖_∞``     local
+============  ============  =============  ======================  ========
+"""
+
+from repro.pruning.mask import (
+    model_prune_ratio,
+    prunable_layers,
+    structured_prunable_layers,
+    total_prunable_weights,
+)
+from repro.pruning.base import ActivationStats, PruneMethod, collect_activation_stats
+from repro.pruning.wt import WeightThresholding
+from repro.pruning.sipp import SiPP
+from repro.pruning.ft import FilterThresholding
+from repro.pruning.pfp import ProvableFilterPruning
+from repro.pruning.pipeline import PruneCheckpoint, PruneRetrain, PruneRun
+from repro.pruning.registry import available_methods, build_method
+
+__all__ = [
+    "prunable_layers",
+    "structured_prunable_layers",
+    "total_prunable_weights",
+    "model_prune_ratio",
+    "PruneMethod",
+    "ActivationStats",
+    "collect_activation_stats",
+    "WeightThresholding",
+    "SiPP",
+    "FilterThresholding",
+    "ProvableFilterPruning",
+    "PruneRetrain",
+    "PruneRun",
+    "PruneCheckpoint",
+    "available_methods",
+    "build_method",
+]

@@ -1,0 +1,62 @@
+"""Filter Thresholding (FT): uniform-layer-ratio channel pruning.
+
+He et al. (2018) / Li et al. (2016) as used by Renda et al. (2020): the
+sensitivity of channel ``j`` is the ℓ1 norm of the weight column ``W_:j``,
+and layer allocation is a *uniform* prune ratio across layers (the paper
+deploys uniform allocation to avoid extra hyperparameters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.base import PruneMethod
+from repro.pruning.mask import structured_prunable_layers
+from repro.pruning.structured import (
+    apply_channel_counts,
+    pruned_channels,
+    solve_counts_for_target,
+)
+
+
+def channel_l1_sensitivity(weight: np.ndarray) -> np.ndarray:
+    """``‖W_:j‖₁`` per input channel of a conv weight (F, C, KH, KW)."""
+    return np.abs(weight).sum(axis=(0, 2, 3))
+
+
+class FilterThresholding(PruneMethod):
+    """Structured ℓ1-norm channel pruning with uniform layer allocation."""
+
+    name = "ft"
+    structured = True
+    data_informed = False
+
+    def prune(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None = None,
+    ) -> float:
+        self._validate(model, target_ratio)
+        layers = dict(structured_prunable_layers(model))
+        if not layers:
+            raise ValueError("model has no structured-prunable conv layers")
+        sensitivities = {
+            name: channel_l1_sensitivity(layer.weight.data)
+            for name, layer in layers.items()
+        }
+        already = {
+            name: int(pruned_channels(layer).sum()) for name, layer in layers.items()
+        }
+
+        def counts_at(q: float) -> dict[str, int]:
+            counts = {}
+            for name, layer in layers.items():
+                c = layer.in_channels
+                want = int(round(q * c))
+                counts[name] = int(np.clip(want, already[name], c - 1))
+            return counts
+
+        counts = solve_counts_for_target(model, target_ratio, counts_at)
+        return apply_channel_counts(model, sensitivities, counts)

@@ -1,0 +1,63 @@
+"""Enumeration of prunable layers and mask bookkeeping.
+
+Prune ratios throughout the library are *weight* ratios — the fraction of
+prunable weights that are masked — for unstructured and structured methods
+alike, matching the PR columns of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.prunable import PrunableWeightMixin
+
+
+def prunable_layers(model: Module) -> list[tuple[str, PrunableWeightMixin]]:
+    """All weight-bearing layers (Conv2d + Linear), in forward order."""
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, (Conv2d, Linear))
+    ]
+
+
+def structured_prunable_layers(
+    model: Module, min_in_channels: int = 4
+) -> list[tuple[str, Conv2d]]:
+    """Conv layers eligible for channel pruning.
+
+    Structured methods prune *input channels* (the ``W_:j`` columns of
+    Table 1), which is equivalent to pruning the producing layer's filters.
+    Layers fed directly by the image (few input channels) are skipped, as is
+    every Linear layer — the classifier head's outputs are classes.
+    """
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, Conv2d) and module.in_channels >= min_in_channels
+    ]
+
+
+def total_prunable_weights(model: Module) -> int:
+    """Number of weights eligible for pruning (excludes biases and BN)."""
+    return sum(module.weight.size for _, module in prunable_layers(model))
+
+
+def pruned_weights(model: Module) -> int:
+    """Number of currently masked weights."""
+    return sum(module.num_pruned for _, module in prunable_layers(model))
+
+
+def model_prune_ratio(model: Module) -> float:
+    """Fraction of prunable weights that are masked, in [0, 1]."""
+    total = total_prunable_weights(model)
+    if total == 0:
+        raise ValueError("model has no prunable layers")
+    return pruned_weights(model) / total
+
+
+def reset_masks(model: Module) -> None:
+    """Remove all pruning from the model."""
+    for _, module in prunable_layers(model):
+        module.reset_weight_mask()

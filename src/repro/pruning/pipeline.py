@@ -1,0 +1,231 @@
+"""PRUNERETRAIN (Algorithm 1): iterative prune–retrain with snapshots.
+
+The pipeline owns a trained parent model and walks an ascending list of
+target prune ratios; at each step it prunes to the cumulative target and
+retrains with the *original* hyperparameters, snapshotting the resulting
+network.  The snapshots are the raw material of every analysis in the
+paper: prune-accuracy curves, prune potential, excess error, and
+functional-distance studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.base import PruneMethod
+from repro.pruning.mask import model_prune_ratio
+from repro.training.trainer import Trainer
+from repro.utils.serialization import load_state, save_state
+
+DEFAULT_TARGET_RATIOS: tuple[float, ...] = (0.3, 0.5, 0.7, 0.85, 0.92, 0.96, 0.98)
+
+
+@dataclass
+class PruneCheckpoint:
+    """One point on the prune-accuracy curve."""
+
+    target_ratio: float
+    achieved_ratio: float
+    test_error: float
+    state: dict[str, np.ndarray] = field(repr=False)
+
+
+@dataclass
+class PruneRun:
+    """The artifact of one PRUNERETRAIN execution."""
+
+    method_name: str
+    parent_state: dict[str, np.ndarray] = field(repr=False)
+    parent_test_error: float = float("nan")
+    checkpoints: list[PruneCheckpoint] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ratios(self) -> np.ndarray:
+        return np.array([c.achieved_ratio for c in self.checkpoints])
+
+    @property
+    def test_errors(self) -> np.ndarray:
+        return np.array([c.test_error for c in self.checkpoints])
+
+    def restore_parent(self, model: Module) -> Module:
+        model.load_state_dict(self.parent_state)
+        return model
+
+    def restore(self, model: Module, index: int) -> Module:
+        """Load checkpoint ``index`` into ``model`` (shares architecture)."""
+        model.load_state_dict(self.checkpoints[index].state)
+        return model
+
+    # ------------------------------------------------------------ disk I/O
+    def save(self, path: str | Path) -> Path:
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in self.parent_state.items():
+            arrays[f"parent/{key}"] = value
+        for i, ckpt in enumerate(self.checkpoints):
+            for key, value in ckpt.state.items():
+                arrays[f"ckpt{i}/{key}"] = value
+        meta = {
+            "method_name": self.method_name,
+            "parent_test_error": self.parent_test_error,
+            "checkpoints": [
+                {
+                    "target_ratio": c.target_ratio,
+                    "achieved_ratio": c.achieved_ratio,
+                    "test_error": c.test_error,
+                }
+                for c in self.checkpoints
+            ],
+            "meta": self.meta,
+        }
+        return save_state(path, arrays, meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PruneRun":
+        arrays, meta = load_state(path)
+        parent_state = {
+            key.split("/", 1)[1]: value
+            for key, value in arrays.items()
+            if key.startswith("parent/")
+        }
+        checkpoints = []
+        for i, info in enumerate(meta["checkpoints"]):
+            prefix = f"ckpt{i}/"
+            state = {
+                key[len(prefix) :]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            checkpoints.append(
+                PruneCheckpoint(
+                    target_ratio=info["target_ratio"],
+                    achieved_ratio=info["achieved_ratio"],
+                    test_error=info["test_error"],
+                    state=state,
+                )
+            )
+        return cls(
+            method_name=meta["method_name"],
+            parent_state=parent_state,
+            parent_test_error=meta["parent_test_error"],
+            checkpoints=checkpoints,
+            meta=meta.get("meta", {}),
+        )
+
+
+class PruneRetrain:
+    """Algorithm 1 driver.
+
+    Parameters
+    ----------
+    trainer:
+        A :class:`~repro.training.trainer.Trainer` wrapping the model and
+        task.  The model is assumed *already trained* (line 2 of the
+        algorithm) unless ``run(train_parent=True)``.
+    method:
+        The pruning method to apply at each cycle.
+    retrain_epochs:
+        Epochs per retrain cycle; ``None`` re-uses the full training budget,
+        as the paper's protocol prescribes (scaled presets shorten this).
+    sample_size:
+        Size of the sample batch S for data-informed methods, drawn from
+        the train split and normalized.
+    retrain_mode:
+        How to retrain after each prune step (Renda et al., 2020):
+
+        - ``"lr_rewind"`` (paper default): keep the pruned weights and
+          re-run the training recipe, rewinding the learning-rate schedule;
+        - ``"finetune"``: keep the pruned weights and train at the final
+          (fully decayed) learning rate;
+        - ``"weight_rewind"``: rewind the surviving weights to the parent's
+          values (lottery-ticket style) before re-running the recipe.
+    """
+
+    RETRAIN_MODES = ("lr_rewind", "finetune", "weight_rewind")
+
+    def __init__(
+        self,
+        trainer: Trainer,
+        method: PruneMethod,
+        retrain_epochs: int | None = None,
+        sample_size: int = 128,
+        retrain_mode: str = "lr_rewind",
+    ):
+        if retrain_mode not in self.RETRAIN_MODES:
+            raise ValueError(
+                f"retrain_mode must be one of {self.RETRAIN_MODES}, got {retrain_mode!r}"
+            )
+        self.trainer = trainer
+        self.method = method
+        self.retrain_epochs = retrain_epochs
+        self.sample_size = sample_size
+        self.retrain_mode = retrain_mode
+
+    def _sample_inputs(self) -> np.ndarray:
+        train = self.trainer.task.train_set()
+        batch = train.images[: self.sample_size]
+        return self.trainer.normalizer(batch)
+
+    def _rewind_weights(self, model: Module, parent_state: dict) -> None:
+        """Reset surviving weights (and all other state) to parent values,
+        then re-apply the current masks."""
+        from repro.pruning.mask import prunable_layers
+
+        masks = {name: layer.weight_mask.copy() for name, layer in prunable_layers(model)}
+        model.load_state_dict(parent_state)
+        for name, layer in prunable_layers(model):
+            layer.set_weight_mask(masks[name])
+
+    def _retrain(self) -> None:
+        if self.retrain_mode == "finetune":
+            cfg = self.trainer.config
+            final_factor = cfg.schedule(cfg.epochs)
+            self.trainer.train(
+                self.retrain_epochs, schedule=lambda epoch: final_factor
+            )
+        else:
+            self.trainer.retrain(self.retrain_epochs)
+
+    def run(
+        self,
+        target_ratios: Sequence[float] = DEFAULT_TARGET_RATIOS,
+        train_parent: bool = False,
+    ) -> PruneRun:
+        """Execute the full iterative prune–retrain schedule."""
+        ratios = sorted(target_ratios)
+        if ratios and (ratios[0] <= 0 or ratios[-1] >= 1):
+            raise ValueError(f"target ratios must lie in (0, 1), got {target_ratios}")
+        model = self.trainer.model
+        if train_parent:
+            self.trainer.train()
+        if model_prune_ratio(model) > 0:
+            raise ValueError("model is already pruned; start from a dense parent")
+
+        parent_error = self.trainer.evaluate()["error"]
+        run = PruneRun(
+            method_name=self.method.name,
+            parent_state=model.state_dict(),
+            parent_test_error=parent_error,
+            meta={"target_ratios": list(ratios)},
+        )
+        for target in ratios:
+            sample = self._sample_inputs() if self.method.data_informed else None
+            achieved = self.method.prune(model, target, sample)
+            if self.retrain_mode == "weight_rewind":
+                self._rewind_weights(model, run.parent_state)
+            self._retrain()
+            error = self.trainer.evaluate()["error"]
+            run.checkpoints.append(
+                PruneCheckpoint(
+                    target_ratio=target,
+                    achieved_ratio=achieved,
+                    test_error=error,
+                    state=model.state_dict(),
+                )
+            )
+        return run

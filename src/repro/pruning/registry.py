@@ -1,0 +1,32 @@
+"""Name-based construction of pruning methods."""
+
+from __future__ import annotations
+
+from repro.pruning.base import PruneMethod
+from repro.pruning.ft import FilterThresholding
+from repro.pruning.pfp import ProvableFilterPruning
+from repro.pruning.sipp import SiPP
+from repro.pruning.wt import WeightThresholding
+
+_METHODS = {
+    "wt": WeightThresholding,
+    "sipp": SiPP,
+    "ft": FilterThresholding,
+    "pfp": ProvableFilterPruning,
+}
+
+
+def available_methods() -> list[str]:
+    """Paper abbreviations of all registered pruning methods."""
+    return sorted(_METHODS)
+
+
+def build_method(name: str, **kwargs) -> PruneMethod:
+    """Instantiate a pruning method by its paper abbreviation."""
+    try:
+        cls = _METHODS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown pruning method {name!r}; available: {available_methods()}"
+        ) from None
+    return cls(**kwargs)

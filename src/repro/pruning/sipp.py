@@ -1,0 +1,54 @@
+"""SiPP: sensitivity-informed provable pruning (Baykal et al., 2019b).
+
+The sensitivity of weight ``W_ij`` incorporates the input activation it
+multiplies: ``g_ij ∝ |W_ij| · a_j(x)`` for sample inputs ``x ∈ S``.  We use
+the *relative* form — each edge's share of its output unit's total incoming
+magnitude — which is the quantity SiPP's sampling bounds are stated in, and
+sort it globally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.base import PruneMethod, collect_activation_stats, global_threshold_prune
+from repro.pruning.mask import prunable_layers
+
+
+def relative_weight_sensitivity(
+    weight: np.ndarray, activation: np.ndarray
+) -> np.ndarray:
+    """``|W_ij| a_j / Σ_k |W_ik| a_k`` for linear (2-D) or conv (4-D) weights."""
+    if weight.ndim == 2:
+        contrib = np.abs(weight) * activation[None, :]
+        denom = contrib.sum(axis=1, keepdims=True)
+    elif weight.ndim == 4:
+        contrib = np.abs(weight) * activation[None, :, None, None]
+        denom = contrib.sum(axis=(1, 2, 3), keepdims=True)
+    else:
+        raise ValueError(f"unsupported weight ndim {weight.ndim}")
+    return contrib / (denom + 1e-12)
+
+
+class SiPP(PruneMethod):
+    """Global data-informed weight pruning."""
+
+    name = "sipp"
+    structured = False
+    data_informed = True
+
+    def prune(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None = None,
+    ) -> float:
+        self._validate(model, target_ratio)
+        sample = self._require_sample(sample_inputs)
+        stats = collect_activation_stats(model, sample)
+        sensitivities = {
+            name: relative_weight_sensitivity(layer.weight.data, stats[name])
+            for name, layer in prunable_layers(model)
+        }
+        return global_threshold_prune(model, sensitivities, target_ratio)

@@ -1,0 +1,33 @@
+"""Weight Thresholding (WT): global magnitude pruning.
+
+Han et al. (2015) as re-purposed by Renda et al. (2020): the sensitivity of
+a weight is its magnitude, sorted globally across all prunable layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.base import PruneMethod, global_threshold_prune
+from repro.pruning.mask import prunable_layers
+
+
+class WeightThresholding(PruneMethod):
+    """Global ``|W_ij|`` pruning (unstructured, data-free)."""
+
+    name = "wt"
+    structured = False
+    data_informed = False
+
+    def prune(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None = None,
+    ) -> float:
+        self._validate(model, target_ratio)
+        sensitivities = {
+            name: np.abs(layer.weight.data) for name, layer in prunable_layers(model)
+        }
+        return global_threshold_prune(model, sensitivities, target_ratio)

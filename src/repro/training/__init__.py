@@ -1,0 +1,15 @@
+"""Training loops, evaluation, and the robust-training protocol."""
+
+from repro.training.history import EpochRecord, History
+from repro.training.trainer import TrainConfig, Trainer, evaluate_model
+from repro.training.robust import RobustProtocol, default_robust_protocol
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "evaluate_model",
+    "History",
+    "EpochRecord",
+    "RobustProtocol",
+    "default_robust_protocol",
+]

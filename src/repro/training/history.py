@@ -1,0 +1,41 @@
+"""Training history records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochRecord:
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    lr: float
+
+
+@dataclass
+class History:
+    """Per-epoch training trace."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.epochs.append(record)
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].train_loss
+
+    @property
+    def final_train_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].train_accuracy
+
+    def losses(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+    def __len__(self) -> int:
+        return len(self.epochs)

@@ -1,0 +1,81 @@
+"""Robust (re-)training protocol (Section 6 / Table 11 of the paper).
+
+Corruptions are split into mutually exclusive *train* and *test*
+distributions such that every category (noise / blur / weather / digital)
+appears on both sides.  During robust training each sampled image is
+corrupted with a uniformly chosen train-distribution corruption (or left
+clean); the held-out corruptions define the evaluation test distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.augmentation import CorruptionAugmenter
+from repro.data.corruptions import CORRUPTION_CATEGORIES, available_corruptions
+from repro.utils.rng import as_rng
+
+# Mirrors Table 11 (speckle noise is not part of the robust protocol there).
+_TRAIN_CORRUPTIONS = (
+    "impulse_noise",
+    "shot_noise",
+    "motion_blur",
+    "zoom_blur",
+    "snow",
+    "contrast",
+    "elastic",
+    "pixelate",
+)
+_TEST_CORRUPTIONS = (
+    "gaussian_noise",
+    "defocus_blur",
+    "glass_blur",
+    "brightness",
+    "fog",
+    "frost",
+    "jpeg",
+)
+
+
+@dataclass(frozen=True)
+class RobustProtocol:
+    """A disjoint train/test corruption split."""
+
+    train_corruptions: tuple[str, ...] = _TRAIN_CORRUPTIONS
+    test_corruptions: tuple[str, ...] = _TEST_CORRUPTIONS
+    severity: int = 3
+
+    def __post_init__(self):
+        overlap = set(self.train_corruptions) & set(self.test_corruptions)
+        if overlap:
+            raise ValueError(f"train/test corruptions overlap: {sorted(overlap)}")
+        unknown = (
+            set(self.train_corruptions) | set(self.test_corruptions)
+        ) - set(available_corruptions())
+        if unknown:
+            raise ValueError(f"unknown corruptions: {sorted(unknown)}")
+
+    def categories_covered(self) -> dict[str, tuple[bool, bool]]:
+        """Per category: (present in train dist, present in test dist)."""
+        out = {}
+        for category, names in CORRUPTION_CATEGORIES.items():
+            out[category] = (
+                any(n in self.train_corruptions for n in names),
+                any(n in self.test_corruptions for n in names),
+            )
+        return out
+
+    def augmenter(
+        self, rng: np.random.Generator | int | None = None
+    ) -> CorruptionAugmenter:
+        """The train-time augmenter implementing this protocol."""
+        return CorruptionAugmenter(
+            self.train_corruptions, severity=self.severity, rng=as_rng(rng)
+        )
+
+
+def default_robust_protocol(severity: int = 3) -> RobustProtocol:
+    """The Table-11 split at the paper's default severity 3."""
+    return RobustProtocol(severity=severity)

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG handling, serialization, table rendering."""
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rng
+from repro.utils.serialization import load_state, save_state
+from repro.utils.tables import format_table
+
+__all__ = [
+    "RngMixin",
+    "as_rng",
+    "spawn_rng",
+    "save_state",
+    "load_state",
+    "format_table",
+]

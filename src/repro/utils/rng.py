@@ -1,0 +1,49 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  ``as_rng`` normalizes the two, and
+``spawn_rng`` derives independent child generators so that, e.g., data
+generation and weight initialization never share a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged so callers can thread
+    a single stream through a pipeline.  ``None`` creates a fresh,
+    OS-entropy-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [np.random.Generator(np.random.PCG64(s)) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created, seedable ``rng`` attribute."""
+
+    _rng: np.random.Generator | None = None
+    _seed: int | None = None
+
+    def seed(self, seed: int | np.random.Generator | None) -> None:
+        """(Re-)seed this object's random stream."""
+        self._rng = as_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = as_rng(self._seed)
+        return self._rng

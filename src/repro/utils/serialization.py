@@ -1,0 +1,51 @@
+"""Serialization of model / experiment state to ``.npz`` archives.
+
+State dicts map string keys to numpy arrays.  Nested metadata (scalars,
+strings) is stored alongside under a reserved ``__meta__`` key as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+_META_KEY = "__meta__"
+
+
+def save_state(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Save ``arrays`` (and optional JSON-serializable ``meta``) to ``path``.
+
+    Returns the resolved path with a ``.npz`` suffix.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {k: np.asarray(v) for k, v in arrays.items()}
+    if _META_KEY in payload:
+        raise ValueError(f"array key {_META_KEY!r} is reserved")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(dict(meta or {})).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load arrays and metadata previously written by :func:`save_state`."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        arrays = {k: archive[k] for k in archive.files if k != _META_KEY}
+        meta: dict[str, Any] = {}
+        if _META_KEY in archive.files:
+            meta = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+    return arrays, meta

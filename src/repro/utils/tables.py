@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark / experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them in a GitHub-flavoured-markdown-compatible layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned markdown table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(f"### {title}")
+    out.append(line(list(headers)))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_mean_std(mean: float, std: float, digits: int = 1) -> str:
+    """Render ``mean ± std`` the way the paper's tables do."""
+    return f"{mean:.{digits}f} ± {std:.{digits}f}"

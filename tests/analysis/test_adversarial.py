@@ -1,0 +1,75 @@
+"""FGSM adversarial probes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adversarial import adversarial_error, fgsm_attack, input_gradient
+
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture
+def batch(rng):
+    images = rng.random((16, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 4, 16)
+    return images, labels
+
+
+class TestInputGradient:
+    def test_shape_and_finiteness(self, batch):
+        model = make_tiny_cnn()
+        grad = input_gradient(model, *batch)
+        assert grad.shape == batch[0].shape
+        assert np.isfinite(grad).all()
+        assert np.abs(grad).max() > 0
+
+    def test_restores_training_mode(self, batch):
+        model = make_tiny_cnn()
+        model.train()
+        input_gradient(model, *batch)
+        assert model.training
+
+
+class TestFGSM:
+    def test_linf_budget_respected(self, batch):
+        model = make_tiny_cnn()
+        images, labels = batch
+        adv = fgsm_attack(model, images, labels, eps=0.03)
+        assert np.abs(adv - images).max() <= 0.03 + 1e-6
+
+    def test_eps_zero_is_identity(self, batch):
+        model = make_tiny_cnn()
+        adv = fgsm_attack(model, *batch, eps=0.0)
+        np.testing.assert_allclose(adv, batch[0])
+
+    def test_negative_eps_raises(self, batch):
+        with pytest.raises(ValueError):
+            fgsm_attack(make_tiny_cnn(), *batch, eps=-0.1)
+
+    def test_batching_invariant(self, batch):
+        model = make_tiny_cnn()
+        images, labels = batch
+        a = fgsm_attack(model, images, labels, eps=0.05, batch_size=4)
+        b = fgsm_attack(model, images, labels, eps=0.05, batch_size=16)
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+
+class TestAdversarialError:
+    def test_attack_hurts_trained_model(self, trained_setup):
+        model, suite, _ = trained_setup
+        test = suite.test_set()
+        images = suite.normalizer()(test.images[:128])
+        labels = test.labels[:128]
+        clean = adversarial_error(model, images, labels, eps=0.0)
+        attacked = adversarial_error(model, images, labels, eps=0.3)
+        assert attacked >= clean
+        assert attacked > clean + 0.05  # FGSM at this budget must bite
+
+    def test_monotone_in_eps_roughly(self, trained_setup):
+        model, suite, _ = trained_setup
+        test = suite.test_set()
+        images = suite.normalizer()(test.images[:96])
+        labels = test.labels[:96]
+        small = adversarial_error(model, images, labels, eps=0.05)
+        large = adversarial_error(model, images, labels, eps=0.5)
+        assert large >= small - 0.05

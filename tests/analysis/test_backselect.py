@@ -1,0 +1,114 @@
+"""BackSelect informative-pixel selection."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis.backselect import (
+    backselect_order,
+    confidence_on_informative_pixels,
+    cross_model_confidence_matrix,
+    informative_pixel_mask,
+)
+from repro.autograd import Tensor
+
+
+class PixelReader(nn.Module):
+    """Logit k reads exactly pixel k (channel 0): ground-truth informativeness."""
+
+    def __init__(self, pixels: list[int], h: int = 4, w: int = 4):
+        super().__init__()
+        self.pixels = pixels
+        self.h, self.w = h, w
+
+    def forward(self, x):
+        flat = x.reshape(x.shape[0], 3, self.h * self.w)
+        cols = [flat[:, 0:1, p] * 10.0 for p in self.pixels]
+        from repro.autograd import ops
+
+        return ops.concatenate(cols, axis=1)
+
+
+class TestBackselectOrder:
+    def test_returns_permutation(self, rng):
+        model = PixelReader([0, 5])
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        order = backselect_order(model, image)
+        assert sorted(order.tolist()) == list(range(16))
+
+    def test_informative_pixel_ranked_last(self, rng):
+        """The one pixel the predicted logit reads must be most informative."""
+        model = PixelReader([7, 12])
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        image[0, 7 // 4, 7 % 4] = 5.0  # make class 0 the prediction
+        order = backselect_order(model, image)
+        assert order[-1] == 7
+
+    def test_pixels_per_step_speeds_but_keeps_top(self, rng):
+        model = PixelReader([3, 9])
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        image[0, 0, 3] = 5.0
+        order = backselect_order(model, image, pixels_per_step=4)
+        assert order[-1] == 3
+
+    def test_explicit_target_class(self, rng):
+        model = PixelReader([2, 10])
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        order = backselect_order(model, image, target_class=1)
+        assert order[-1] == 10
+
+    def test_rejects_batched_input(self, rng):
+        with pytest.raises(ValueError):
+            backselect_order(PixelReader([0]), rng.random((1, 3, 4, 4)))
+
+    def test_restores_training_mode(self, rng):
+        model = PixelReader([0, 1])
+        model.train()
+        backselect_order(model, rng.random((3, 4, 4)).astype(np.float32), pixels_per_step=8)
+        assert model.training
+
+
+class TestInformativeMask:
+    def test_keeps_top_fraction(self):
+        order = np.arange(10)
+        mask = informative_pixel_mask(order, 0.3)
+        assert mask.sum() == 3
+        assert mask[[7, 8, 9]].all()
+
+    def test_at_least_one_pixel(self):
+        mask = informative_pixel_mask(np.arange(100), 0.001)
+        assert mask.sum() == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            informative_pixel_mask(np.arange(4), 0.0)
+
+
+class TestConfidenceOnMask:
+    def test_high_when_informative_kept(self, rng):
+        model = PixelReader([7, 12])
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        image[0, 7 // 4, 7 % 4] = 5.0
+        mask = np.zeros(16, dtype=bool)
+        mask[7] = True
+        conf_kept = confidence_on_informative_pixels(model, image, mask, true_class=0)
+        conf_dropped = confidence_on_informative_pixels(model, image, ~mask, true_class=0)
+        assert conf_kept > conf_dropped
+
+
+class TestCrossModelMatrix:
+    def test_shape_and_range(self, rng):
+        models = [PixelReader([0, 5]), PixelReader([0, 5])]
+        images = rng.random((2, 3, 4, 4)).astype(np.float32)
+        labels = np.array([0, 1])
+        heat = cross_model_confidence_matrix(models, images, labels, keep_fraction=0.25, pixels_per_step=8)
+        assert heat.shape == (2, 2)
+        assert (heat >= 0).all() and (heat <= 1).all()
+
+    def test_identical_models_symmetric(self, rng):
+        m = PixelReader([1, 14])
+        images = rng.random((2, 3, 4, 4)).astype(np.float32)
+        labels = np.array([0, 1])
+        heat = cross_model_confidence_matrix([m, m], images, labels, keep_fraction=0.25, pixels_per_step=8)
+        assert heat[0, 0] == pytest.approx(heat[1, 1])
+        assert heat[0, 1] == pytest.approx(heat[0, 0])

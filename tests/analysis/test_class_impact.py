@@ -1,0 +1,93 @@
+"""Per-class pruning impact (the Hooker et al. analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.class_impact import ClassImpactResult, class_impact, per_class_error
+from repro.data.datasets import Dataset
+
+from tests.conftest import make_tiny_cnn
+
+
+class ConstantClassifier:
+    """Always predicts one class (Module-like test double)."""
+
+    def __init__(self, k, num_classes=4):
+        self.k = k
+        self.num_classes = num_classes
+        self.training = False
+
+    def eval(self):
+        return self
+
+    def train(self, mode=True):
+        return self
+
+    def __call__(self, x):
+        from repro.autograd import Tensor
+
+        logits = np.zeros((len(x), self.num_classes), dtype=np.float32)
+        logits[:, self.k] = 10.0
+        return Tensor(logits)
+
+
+class TestPerClassError:
+    def test_constant_predictor(self, rng):
+        model = ConstantClassifier(1)
+        images = rng.random((20, 3, 4, 4)).astype(np.float32)
+        labels = np.array([0, 1] * 10)
+        errors = per_class_error(model, images, labels, 4)
+        assert errors[0] == 1.0  # class 0 always misclassified as 1
+        assert errors[1] == 0.0
+        assert np.isnan(errors[2]) and np.isnan(errors[3])
+
+    def test_real_model_shapes(self, rng):
+        model = make_tiny_cnn()
+        images = rng.random((16, 3, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 4, 16)
+        errors = per_class_error(model, images, labels, 4)
+        assert errors.shape == (4,)
+        present = ~np.isnan(errors)
+        assert ((errors[present] >= 0) & (errors[present] <= 1)).all()
+
+
+class TestClassImpact:
+    def test_identical_models_zero_deltas(self, rng):
+        model = make_tiny_cnn(seed=3)
+        ds = Dataset(rng.random((24, 3, 8, 8)).astype(np.float32), rng.integers(0, 4, 24))
+        result = class_impact(model, model, ds, num_classes=4)
+        np.testing.assert_allclose(np.nan_to_num(result.deltas), 0.0)
+        assert result.aggregate_delta == pytest.approx(0.0)
+
+    def test_disparity_measures_nonuniformity(self):
+        result = ClassImpactResult(
+            parent_errors=np.array([0.1, 0.1, 0.1]),
+            pruned_errors=np.array([0.1, 0.1, 0.5]),
+        )
+        assert result.worst_class == 2
+        assert result.aggregate_delta == pytest.approx(0.4 / 3)
+        assert result.disparity == pytest.approx(0.4 - 0.4 / 3)
+
+    def test_uniform_damage_zero_disparity(self):
+        result = ClassImpactResult(
+            parent_errors=np.array([0.1, 0.2]),
+            pruned_errors=np.array([0.2, 0.3]),
+        )
+        assert result.disparity == pytest.approx(0.0)
+
+    def test_pruning_increases_some_class_error(self, trained_setup):
+        """End-to-end: prune a trained model hard and observe class-level
+        damage exceeding the aggregate (selective brain damage)."""
+        from repro.pruning import WeightThresholding
+        from tests.conftest import make_tiny_cnn as mk
+
+        model, suite, _ = trained_setup
+        pruned = mk(seed=1)
+        pruned.load_state_dict(model.state_dict())
+        WeightThresholding().prune(pruned, 0.85)
+        test = suite.test_set()
+        result = class_impact(
+            model, pruned, test, suite.num_classes, suite.normalizer()
+        )
+        assert np.isfinite(result.aggregate_delta)
+        assert result.disparity >= 0  # max is never below mean

@@ -1,0 +1,99 @@
+"""Excess error (Definition 2) and the OLS/bootstrap machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.excess_error import excess_error, excess_error_difference
+from repro.analysis.regression import bootstrap_slope_ci, ols_slope_through_origin
+from repro.data.datasets import Dataset
+
+
+class TestOLS:
+    def test_exact_line(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert ols_slope_through_origin(x, 2.5 * x) == pytest.approx(2.5)
+
+    def test_least_squares_property(self, rng):
+        x = rng.random(50) + 0.1
+        y = 1.7 * x + rng.normal(0, 0.01, 50)
+        slope = ols_slope_through_origin(x, y)
+        assert slope == pytest.approx(1.7, abs=0.05)
+        # perturbing the slope increases squared error
+        base = ((y - slope * x) ** 2).sum()
+        assert ((y - (slope + 0.1) * x) ** 2).sum() > base
+
+    def test_all_zero_x_raises(self):
+        with pytest.raises(ValueError):
+            ols_slope_through_origin(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ols_slope_through_origin(np.ones(3), np.ones(4))
+
+
+class TestBootstrapCI:
+    def test_ci_contains_true_slope(self, rng):
+        x = rng.random(100) + 0.1
+        y = 2.0 * x + rng.normal(0, 0.05, 100)
+        lo, hi = bootstrap_slope_ci(x, y, n_boot=500, rng=0)
+        assert lo < 2.0 < hi
+
+    def test_ci_ordered_and_tight_for_clean_data(self):
+        x = np.linspace(0.1, 1, 50)
+        lo, hi = bootstrap_slope_ci(x, 3.0 * x, n_boot=200, rng=0)
+        assert lo <= hi
+        assert lo == pytest.approx(3.0, abs=1e-6)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.random(30) + 0.1
+        y = x + rng.normal(0, 0.1, 30)
+        assert bootstrap_slope_ci(x, y, rng=7) == bootstrap_slope_ci(x, y, rng=7)
+
+
+class TestExcessError:
+    def test_definition(self, trained_setup):
+        model, suite, _ = trained_setup
+        nominal = suite.test_set()
+        shifted = suite.corrupted_test_set("gaussian_noise", 4)
+        e = excess_error(model, nominal, shifted, suite.normalizer())
+        from repro.training import evaluate_model
+
+        err_nom = evaluate_model(model, nominal.images, nominal.labels, suite.normalizer())["error"]
+        err_ood = evaluate_model(model, shifted.images, shifted.labels, suite.normalizer())["error"]
+        assert e == pytest.approx(err_ood - err_nom)
+
+    def test_zero_for_identical_distribution(self, trained_setup):
+        model, suite, _ = trained_setup
+        nominal = suite.test_set()
+        assert excess_error(model, nominal, nominal, suite.normalizer()) == 0.0
+
+
+class TestExcessErrorDifference:
+    def test_requires_ood_sets(self, trained_setup):
+        model, suite, trainer = trained_setup
+        from repro.pruning import PruneRun
+
+        run = PruneRun("wt", parent_state=model.state_dict())
+        with pytest.raises(ValueError, match="o.o.d."):
+            excess_error_difference(run, model, suite.test_set(), [], suite.normalizer())
+
+    def test_zero_checkpoint_identical_to_parent(self, trained_setup):
+        """A checkpoint with the parent's own weights has ê − e = 0."""
+        model, suite, _ = trained_setup
+        from repro.pruning import PruneRun
+        from repro.pruning.pipeline import PruneCheckpoint
+
+        state = model.state_dict()
+        run = PruneRun(
+            "wt",
+            parent_state=state,
+            checkpoints=[
+                PruneCheckpoint(target_ratio=0.0, achieved_ratio=0.0, test_error=0.0, state=state)
+            ],
+        )
+        ood = [suite.corrupted_test_set("brightness", 3)]
+        from tests.conftest import make_tiny_cnn
+
+        probe = make_tiny_cnn(seed=1)
+        result = excess_error_difference(run, probe, suite.test_set(), ood, suite.normalizer())
+        assert result.differences[0] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,87 @@
+"""Noise-similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.functional_distance import (
+    noise_similarity,
+    predictions_and_softmax,
+)
+
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture
+def images(rng):
+    return rng.standard_normal((32, 3, 8, 8)).astype(np.float32)
+
+
+class TestPredictionsAndSoftmax:
+    def test_shapes(self, images):
+        model = make_tiny_cnn()
+        preds, probs = predictions_and_softmax(model, images)
+        assert preds.shape == (32,)
+        assert probs.shape == (32, 4)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_batch_invariant(self, images):
+        model = make_tiny_cnn()
+        p1, s1 = predictions_and_softmax(model, images, batch_size=5)
+        p2, s2 = predictions_and_softmax(model, images, batch_size=32)
+        np.testing.assert_array_equal(p1, p2)
+        np.testing.assert_allclose(s1, s2, rtol=1e-5)
+
+    def test_restores_mode(self, images):
+        model = make_tiny_cnn()
+        model.train()
+        predictions_and_softmax(model, images)
+        assert model.training
+
+
+class TestNoiseSimilarity:
+    def test_identical_models_perfect_match(self, images):
+        model = make_tiny_cnn(seed=2)
+        sim = noise_similarity(model, model, images, eps=0.1, n_trials=2, rng=0)
+        assert sim.match_rate == 1.0
+        assert sim.l2_distance == pytest.approx(0.0, abs=1e-6)
+        assert sim.match_rate_std == 0.0
+
+    def test_different_models_imperfect(self, images):
+        a, b = make_tiny_cnn(seed=0), make_tiny_cnn(seed=9)
+        sim = noise_similarity(a, b, images, eps=0.1, n_trials=2, rng=0)
+        assert sim.match_rate < 1.0
+        assert sim.l2_distance > 0.0
+
+    def test_deterministic_given_rng(self, images):
+        a, b = make_tiny_cnn(seed=0), make_tiny_cnn(seed=9)
+        s1 = noise_similarity(a, b, images, eps=0.2, n_trials=3, rng=5)
+        s2 = noise_similarity(a, b, images, eps=0.2, n_trials=3, rng=5)
+        assert s1.match_rate == s2.match_rate
+        assert s1.l2_distance == s2.l2_distance
+
+    def test_eps_recorded(self, images):
+        model = make_tiny_cnn()
+        assert noise_similarity(model, model, images, eps=0.3, n_trials=1).eps == 0.3
+
+    def test_invalid_trials(self, images):
+        model = make_tiny_cnn()
+        with pytest.raises(ValueError):
+            noise_similarity(model, model, images, eps=0.1, n_trials=0)
+
+    def test_pruned_copy_more_similar_than_stranger(self, trained_setup):
+        """The paper's core Section-4 claim at unit-test scale."""
+        from repro.pruning import WeightThresholding
+        from tests.conftest import make_tiny_cnn as mk
+
+        model, suite, _ = trained_setup
+        images = suite.normalizer()(suite.test_set().images[:64])
+
+        pruned = mk(seed=1)
+        pruned.load_state_dict(model.state_dict())
+        WeightThresholding().prune(pruned, 0.3)
+
+        stranger = mk(seed=77)
+
+        sim_pruned = noise_similarity(model, pruned, images, eps=0.1, n_trials=2, rng=0)
+        sim_stranger = noise_similarity(model, stranger, images, eps=0.1, n_trials=2, rng=0)
+        assert sim_pruned.match_rate > sim_stranger.match_rate

@@ -1,0 +1,42 @@
+"""Overparameterization summaries (avg/min prune potential)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overparam import summarize_potentials
+
+
+class TestSummaries:
+    def test_single_repetition_std_zero(self):
+        s = summarize_potentials(np.array([[0.8, 0.4, 0.0]]))
+        assert s.average_mean == pytest.approx(0.4)
+        assert s.average_std == 0.0
+        assert s.minimum_mean == 0.0
+        assert s.minimum_std == 0.0
+
+    def test_multiple_repetitions(self):
+        matrix = np.array([[0.8, 0.4], [0.6, 0.2]])
+        s = summarize_potentials(matrix)
+        assert s.average_mean == pytest.approx(0.5)
+        assert s.minimum_mean == pytest.approx(0.3)
+        assert s.average_std == pytest.approx(0.1)
+        assert s.minimum_std == pytest.approx(0.1)
+
+    def test_1d_input_treated_as_single_rep(self):
+        s = summarize_potentials(np.array([0.5, 0.1]))
+        assert s.minimum_mean == pytest.approx(0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_potentials(np.zeros((0, 0)))
+
+    def test_row_formatting_percent(self):
+        s = summarize_potentials(np.array([[0.849, 0.667]]))
+        avg, minimum = s.row()
+        assert avg == "75.8 ± 0.0"
+        assert minimum == "66.7 ± 0.0"
+
+    def test_minimum_never_exceeds_average(self, rng):
+        matrix = rng.random((5, 8))
+        s = summarize_potentials(matrix)
+        assert s.minimum_mean <= s.average_mean

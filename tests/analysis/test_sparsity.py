@@ -1,0 +1,75 @@
+"""Layerwise sparsity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sparsity import layerwise_sparsity, layerwise_sizes, sparsity_profile
+from repro.pruning import (
+    FilterThresholding,
+    PruneRetrain,
+    WeightThresholding,
+)
+from repro.pruning.mask import structured_prunable_layers
+
+from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
+
+
+class TestLayerwiseSparsity:
+    def test_zero_for_fresh_model(self):
+        model = make_tiny_cnn()
+        assert all(v == 0.0 for v in layerwise_sparsity(model).values())
+
+    def test_reflects_masks(self):
+        model = make_tiny_cnn()
+        WeightThresholding().prune(model, 0.5)
+        per_layer = layerwise_sparsity(model)
+        sizes = layerwise_sizes(model)
+        total = sum(per_layer[n] * sizes[n] for n in per_layer) / sum(sizes.values())
+        assert total == pytest.approx(0.5, abs=0.01)
+
+    def test_ft_uniform_vs_wt_global(self):
+        """FT's uniform allocation spreads sparsity more evenly over its
+        structured layers than WT's global thresholding does."""
+        wt_model, ft_model = make_tiny_cnn(seed=7), make_tiny_cnn(seed=7)
+        WeightThresholding().prune(wt_model, 0.4)
+        FilterThresholding().prune(ft_model, 0.4)
+        structured = [n for n, _ in structured_prunable_layers(ft_model)]
+        wt_vals = [layerwise_sparsity(wt_model)[n] for n in structured]
+        ft_vals = [layerwise_sparsity(ft_model)[n] for n in structured]
+        assert np.std(ft_vals) <= np.std(wt_vals) + 0.05
+
+
+class TestSparsityProfile:
+    @pytest.fixture(scope="class")
+    def run_and_model(self):
+        suite = make_tiny_suite(seed=9)
+        model = make_tiny_cnn(seed=9)
+        trainer = make_tiny_trainer(model, suite, epochs=1, seed=9)
+        trainer.train()
+        run = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=0).run(
+            target_ratios=[0.3, 0.7]
+        )
+        return run, make_tiny_cnn(seed=9)
+
+    def test_shape(self, run_and_model):
+        run, probe = run_and_model
+        profile = sparsity_profile(run, probe)
+        assert profile.sparsities.shape == (2, len(profile.layer_names))
+        assert (profile.sparsities >= 0).all() and (profile.sparsities <= 1).all()
+
+    def test_weighted_sparsity_matches_overall_ratio(self, run_and_model):
+        run, probe = run_and_model
+        profile = sparsity_profile(run, probe)
+        for k, ratio in enumerate(run.ratios):
+            assert profile.weighted_sparsity(k) == pytest.approx(ratio, abs=1e-6)
+
+    def test_sparsity_grows_per_layer(self, run_and_model):
+        """Monotone masks imply per-layer sparsity is non-decreasing."""
+        run, probe = run_and_model
+        profile = sparsity_profile(run, probe)
+        assert (profile.sparsities[1] >= profile.sparsities[0] - 1e-9).all()
+
+    def test_imbalance_nonnegative(self, run_and_model):
+        run, probe = run_and_model
+        profile = sparsity_profile(run, probe)
+        assert profile.imbalance(0) >= 0

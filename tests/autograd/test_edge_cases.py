@@ -1,0 +1,106 @@
+"""Autograd edge cases: dtypes, degenerate shapes, graph pathologies."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, no_grad
+from repro.autograd import ops
+
+
+class TestDegenerateShapes:
+    def test_empty_tensor_sum(self):
+        x = Tensor(np.zeros((0, 3)), requires_grad=True)
+        y = x.sum()
+        assert y.item() == 0.0
+        y.backward()
+        assert x.grad.shape == (0, 3)
+
+    def test_single_element_ops(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        ((x * x).log() * x.exp()).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_batch_of_one_conv(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)).astype(np.float32), requires_grad=True)
+        F.conv2d(x, w, padding=1).sum().backward()
+        assert x.grad.shape == x.shape
+        assert w.grad.shape == w.shape
+
+    def test_1x1_spatial_conv(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 1, 1)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 3, 1, 1)).astype(np.float32))
+        out = F.conv2d(x, w)
+        assert out.shape == (2, 4, 1, 1)
+
+    def test_kernel_equals_input_size(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 3, 3)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)).astype(np.float32))
+        assert F.conv2d(x, w).shape == (1, 4, 1, 1)
+
+
+class TestDtypePropagation:
+    def test_float32_stays_float32(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        y = (x * 2.0 + 1.0).relu()
+        assert y.dtype == np.float32
+        y.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_mixed_op_with_python_scalar(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert (x + 1).dtype == np.float32
+
+
+class TestGraphPathologies:
+    def test_reuse_tensor_in_multiple_graphs(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = (x * 2.0).sum()
+        b = (x * 3.0).sum()
+        a.backward()
+        b.backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_backward_on_nonscalar_with_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2.0
+        y.backward(np.full((2, 2), 0.5))
+        np.testing.assert_allclose(x.grad, np.ones((2, 2)))
+
+    def test_no_grad_inside_graph_detaches_subtree(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2.0
+        with no_grad():
+            z = y * 10.0  # constant w.r.t. graph
+        w = y + z.detach()
+        w.backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_getitem_then_concat_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = ops.concatenate([x[0:1], x[1:2]], axis=0)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+
+class TestNumericalStability:
+    def test_cross_entropy_huge_logits(self):
+        logits = Tensor(np.array([[1000.0, -1000.0]]), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_log_softmax_extreme(self):
+        out = F.log_softmax(Tensor(np.array([[500.0, -500.0, 0.0]])))
+        assert np.isfinite(out.data).all()
+
+    def test_batchnorm_zero_variance_channel(self):
+        x = Tensor(np.ones((4, 2, 3, 3), dtype=np.float32), requires_grad=True)
+        rm, rv = np.zeros(2, dtype=np.float32), np.ones(2, dtype=np.float32)
+        out = F.batch_norm(
+            x, Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv, training=True
+        )
+        assert np.isfinite(out.data).all()
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()

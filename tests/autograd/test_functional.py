@@ -1,0 +1,266 @@
+"""Fused kernels: value checks against reference implementations plus
+gradchecks across geometry configurations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, gradcheck
+from repro.autograd.functional import conv_output_size
+from repro.autograd.gradcheck import randn_tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive direct convolution for value comparison."""
+    n, c, h, ww = x.shape
+    f, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (ww + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, f, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nchw,fchw->nf", patch, w)
+    if b is not None:
+        out += b.reshape(1, f, 1, 1)
+    return out
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(8, 3, 1, 1, 8), (8, 3, 2, 1, 4), (7, 3, 1, 0, 5), (5, 5, 1, 0, 1)],
+    )
+    def test_values(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1)])
+    def test_gradcheck(self, rng, stride, padding):
+        x = randn_tensor(rng, 2, 2, 5, 5)
+        w = randn_tensor(rng, 3, 2, 3, 3)
+        b = randn_tensor(rng, 3)
+        gradcheck(
+            lambda x, w, b: F.conv2d(x, w, b, stride=stride, padding=padding).sum(),
+            [x, w, b],
+        )
+
+    def test_gradcheck_1x1_kernel(self, rng):
+        x = randn_tensor(rng, 2, 3, 4, 4)
+        w = randn_tensor(rng, 5, 3, 1, 1)
+        gradcheck(lambda x, w: F.conv2d(x, w).sum(), [x, w])
+
+    def test_no_bias(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        w = rng.standard_normal((3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1)
+        ref = reference_conv2d(x, w, None, 1, 1)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-5, atol=1e-6)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
+
+    def test_non_4d_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((3, 4, 4))), Tensor(np.zeros((2, 3, 3, 3))))
+
+
+class TestLinear:
+    def test_matches_numpy(self, rng):
+        x, w, b = rng.standard_normal((4, 3)), rng.standard_normal((5, 3)), rng.standard_normal(5)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b, rtol=1e-6)
+
+    def test_gradcheck(self, rng):
+        x, w, b = randn_tensor(rng, 4, 3), randn_tensor(rng, 5, 3), randn_tensor(rng, 5)
+        gradcheck(lambda x, w, b: F.linear(x, w, b).sum(), [x, w, b])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[5, 7], [13, 15]]]])
+
+    def test_max_pool_grad_goes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, [1, 1, 3, 3], [1, 3, 1, 3]] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_pool_gradcheck(self, rng):
+        x = Tensor(rng.permutation(2 * 2 * 36).reshape(2, 2, 6, 6).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: F.max_pool2d(x, 2).sum(), [x])
+
+    def test_max_pool_overlapping_stride(self, rng):
+        x = Tensor(rng.permutation(25).reshape(1, 1, 5, 5).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: F.max_pool2d(x, 3, stride=1).sum(), [x])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[2.5, 4.5], [10.5, 12.5]]]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        gradcheck(lambda x: F.avg_pool2d(x, 2).sum(), [randn_tensor(rng, 2, 3, 4, 4)])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-6)
+        gradcheck(lambda x: F.global_avg_pool2d(x).sum(), [randn_tensor(rng, 2, 3, 4, 4)])
+
+    def test_upsample_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = F.upsample_nearest2d(Tensor(x), 2)
+        np.testing.assert_allclose(
+            out.data, [[[[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]]]]
+        )
+
+    def test_upsample_gradcheck(self, rng):
+        gradcheck(lambda x: F.upsample_nearest2d(x, 3).sum(), [randn_tensor(rng, 1, 2, 3, 3)])
+
+    def test_upsample_invalid_scale(self, rng):
+        with pytest.raises(ValueError):
+            F.upsample_nearest2d(randn_tensor(rng, 1, 1, 2, 2), 0)
+
+
+class TestBatchNorm:
+    def test_train_normalizes(self, rng):
+        x = rng.standard_normal((16, 4, 3, 3)) * 5 + 2
+        gamma, beta = np.ones(4), np.zeros(4)
+        rm, rv = np.zeros(4), np.ones(4)
+        out = F.batch_norm(Tensor(x), Tensor(gamma), Tensor(beta), rm, rv, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = rng.standard_normal((64, 3, 4, 4)) + 3.0
+        rm, rv = np.zeros(3), np.ones(3)
+        F.batch_norm(Tensor(x), Tensor(np.ones(3)), Tensor(np.zeros(3)), rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.mean(axis=(0, 2, 3)), rtol=1e-5)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        rm, rv = np.array([1.0, -1.0]), np.array([4.0, 0.25])
+        out = F.batch_norm(
+            Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv, training=False, eps=0.0
+        )
+        expected = (x - rm.reshape(1, 2, 1, 1)) / np.sqrt(rv.reshape(1, 2, 1, 1))
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_2d_input(self, rng):
+        x = rng.standard_normal((8, 5))
+        rm, rv = np.zeros(5), np.ones(5)
+        out = F.batch_norm(Tensor(x), Tensor(np.ones(5)), Tensor(np.zeros(5)), rm, rv, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_3d_raises(self):
+        with pytest.raises(ValueError):
+            F.batch_norm(
+                Tensor(np.zeros((2, 3, 4))), Tensor(np.ones(3)), Tensor(np.zeros(3)),
+                np.zeros(3), np.ones(3), training=True,
+            )
+
+    @pytest.mark.parametrize("training", [True, False])
+    def test_gradcheck(self, rng, training):
+        x = randn_tensor(rng, 5, 3, 2, 2)
+        g = randn_tensor(rng, 3, scale=0.5)
+        b = randn_tensor(rng, 3)
+        rm, rv = np.zeros(3), np.ones(3)
+        gradcheck(
+            lambda x, g, b: F.batch_norm(x, g, b, rm.copy(), rv.copy(), training=training),
+            [x, g, b],
+        )
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((4, 6))))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), rtol=1e-5
+        )
+
+    def test_softmax_gradcheck(self, rng):
+        gradcheck(lambda x: (F.softmax(x) ** 2.0).sum(), [randn_tensor(rng, 3, 5)])
+
+    def test_log_softmax_gradcheck(self, rng):
+        x = randn_tensor(rng, 3, 5)
+        weights = Tensor(rng.standard_normal((3, 5)))
+        gradcheck(lambda x: (F.log_softmax(x) * weights).sum(), [x])
+
+    def test_cross_entropy_value(self):
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]))
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        lo = randn_tensor(rng, 6, 4)
+        gradcheck(lambda lo: F.cross_entropy(lo, np.array([0, 1, 2, 3, 0, 1])), [lo])
+
+    def test_cross_entropy_grad_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        targets = np.array([0, 2])
+        F.cross_entropy(logits, targets).backward()
+        probs = F.softmax(logits.detach()).data
+        onehot = np.eye(3)[targets]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 2, rtol=1e-5, atol=1e-6)
+
+    def test_cross_entropy_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.5, rng, training=False) is x
+
+    def test_p_zero_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_grad_masked_like_forward(self, rng):
+        x = Tensor(np.ones((8, 8)), requires_grad=True)
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        out.sum().backward()
+        np.testing.assert_allclose((x.grad > 0), (out.data > 0))

@@ -1,0 +1,108 @@
+"""The corruption suite: registry, ranges, severity ordering, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import (
+    CORRUPTION_CATEGORIES,
+    available_corruptions,
+    category_of,
+    corrupt,
+)
+from repro.data.synthetic import ClassificationTaskConfig, generate_classification
+
+
+@pytest.fixture(scope="module")
+def images():
+    cfg = ClassificationTaskConfig(num_classes=4, image_size=12, seed=0)
+    return generate_classification(cfg, 24)[0]
+
+
+class TestRegistry:
+    def test_sixteen_corruptions(self):
+        assert len(available_corruptions()) == 16
+
+    def test_four_per_category(self):
+        for category, names in CORRUPTION_CATEGORIES.items():
+            assert len(names) == 4, category
+
+    def test_category_of(self):
+        assert category_of("gaussian_noise") == "noise"
+        assert category_of("jpeg") == "digital"
+        with pytest.raises(KeyError):
+            category_of("nope")
+
+    def test_unknown_corruption_raises(self, images):
+        with pytest.raises(KeyError, match="unknown corruption"):
+            corrupt(images, "cosmic_rays")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("severity", [0, 6])
+    def test_bad_severity(self, images, severity):
+        with pytest.raises(ValueError, match="severity"):
+            corrupt(images, "gaussian_noise", severity)
+
+    def test_non_batch_raises(self, images):
+        with pytest.raises(ValueError, match="batch"):
+            corrupt(images[0], "gaussian_noise")
+
+
+class TestAllCorruptions:
+    @pytest.mark.parametrize("name", available_corruptions())
+    def test_shape_range_and_change(self, images, name):
+        out = corrupt(images, name, 3, seed=0)
+        assert out.shape == images.shape
+        assert out.dtype == np.float32
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.abs(out - images).mean() > 1e-3  # actually does something
+
+    @pytest.mark.parametrize("name", available_corruptions())
+    def test_deterministic_given_seed(self, images, name):
+        a = corrupt(images, name, 3, seed=5)
+        b = corrupt(images, name, 3, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", available_corruptions())
+    def test_severity_monotone_distortion(self, images, name):
+        """Severity 5 must distort more than severity 1 (on average)."""
+        d1 = np.abs(corrupt(images, name, 1, seed=0) - images).mean()
+        d5 = np.abs(corrupt(images, name, 5, seed=0) - images).mean()
+        assert d5 > d1
+
+    def test_does_not_mutate_input(self, images):
+        before = images.copy()
+        corrupt(images, "impulse_noise", 5, seed=0)
+        np.testing.assert_array_equal(images, before)
+
+
+class TestSpecificBehaviours:
+    def test_brightness_raises_mean(self, images):
+        out = corrupt(images, "brightness", 3, seed=0)
+        assert out.mean() > images.mean()
+
+    def test_contrast_shrinks_spread(self, images):
+        out = corrupt(images, "contrast", 5, seed=0)
+        assert out.std() < images.std()
+
+    def test_pixelate_creates_blocks(self, images):
+        out = corrupt(images, "pixelate", 5, seed=0)
+        # Neighbouring pixels become more similar after pixelation.
+        tv_in = np.abs(np.diff(images, axis=3)).mean()
+        tv_out = np.abs(np.diff(out, axis=3)).mean()
+        assert tv_out < tv_in
+
+    def test_blur_smooths(self, images):
+        out = corrupt(images, "defocus_blur", 4, seed=0)
+        tv_in = np.abs(np.diff(images, axis=3)).mean()
+        tv_out = np.abs(np.diff(out, axis=3)).mean()
+        assert tv_out < tv_in
+
+    def test_impulse_noise_sets_extremes(self, images):
+        out = corrupt(images, "impulse_noise", 5, seed=0)
+        frac_extreme = ((out == 0.0) | (out == 1.0)).mean()
+        assert frac_extreme > 0.05
+
+    def test_fog_brightens_with_structure(self, images):
+        out = corrupt(images, "fog", 4, seed=0)
+        assert out.mean() > images.mean()

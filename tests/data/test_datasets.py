@@ -1,0 +1,100 @@
+"""Dataset containers, normalizer, and task suites."""
+
+import numpy as np
+import pytest
+
+from repro.data import cifar_like, imagenet_like, voc_like
+from repro.data.datasets import Dataset, Normalizer, TaskSuite
+from repro.data.synthetic import ClassificationTaskConfig
+
+
+@pytest.fixture
+def suite():
+    return TaskSuite(
+        ClassificationTaskConfig(num_classes=4, image_size=8, seed=0),
+        n_train=64,
+        n_test=32,
+        name="t",
+    )
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="images"):
+            Dataset(np.zeros((4, 8, 8)), np.zeros(4))
+        with pytest.raises(ValueError, match="mismatch"):
+            Dataset(np.zeros((4, 3, 8, 8)), np.zeros(3))
+
+    def test_len_subset_map(self):
+        ds = Dataset(np.zeros((6, 3, 4, 4), dtype=np.float32), np.arange(6))
+        assert len(ds) == 6
+        sub = ds.subset(np.array([0, 2]))
+        assert len(sub) == 2
+        mapped = ds.map_images(lambda x: x + 1, name="m")
+        assert mapped.images.mean() == 1.0
+        assert mapped.name == "m"
+
+
+class TestNormalizer:
+    def test_fit_normalizes(self, rng):
+        images = rng.random((50, 3, 4, 4)).astype(np.float32) * 2
+        norm = Normalizer.fit(images)
+        out = norm(images)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_invert_roundtrip(self, rng):
+        images = rng.random((10, 3, 4, 4)).astype(np.float32)
+        norm = Normalizer.fit(images)
+        np.testing.assert_allclose(norm.invert(norm(images)), images, atol=1e-5)
+
+
+class TestTaskSuite:
+    def test_split_caching(self, suite):
+        assert suite.train_set() is suite.train_set()
+
+    def test_split_sizes(self, suite):
+        assert len(suite.train_set()) == 64
+        assert len(suite.test_set()) == 32
+
+    def test_input_shape_and_classes(self, suite):
+        assert suite.input_shape == (3, 8, 8)
+        assert suite.num_classes == 4
+        assert not suite.is_segmentation
+
+    def test_shifted_set_same_labels_shape(self, suite):
+        shifted = suite.shifted_test_set()
+        assert shifted.images.shape == suite.test_set().images.shape
+
+    def test_corrupted_set(self, suite):
+        ds = suite.corrupted_test_set("gaussian_noise", 3)
+        base = suite.test_set()
+        np.testing.assert_array_equal(ds.labels, base.labels)
+        assert not np.allclose(ds.images, base.images)
+
+    def test_normalizer_cached(self, suite):
+        assert suite.normalizer() is suite.normalizer()
+
+
+class TestFactories:
+    def test_cifar_like_cached(self):
+        assert cifar_like(seed=9, n_train=32, n_test=16) is cifar_like(
+            seed=9, n_train=32, n_test=16
+        )
+
+    def test_imagenet_like_bigger(self):
+        c = cifar_like(seed=0, n_train=16, n_test=8)
+        i = imagenet_like(seed=0, n_train=16, n_test=8)
+        assert i.num_classes > c.num_classes
+        assert i.input_shape[1] > c.input_shape[1]
+
+    def test_voc_like_is_segmentation(self):
+        v = voc_like(seed=0, n_train=8, n_test=4)
+        assert v.is_segmentation
+        assert v.num_classes == 6  # 5 + background
+        assert v.train_set().labels.ndim == 3
+
+    def test_voc_shifted_raises(self):
+        v = voc_like(seed=1, n_train=8, n_test=4)
+        with pytest.raises(NotImplementedError):
+            v.shifted_test_set()

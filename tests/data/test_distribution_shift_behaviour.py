@@ -1,0 +1,61 @@
+"""Behavioural checks that the synthetic shifts play their paper roles:
+the shifted resample is mildly harder, corruptions are substantially
+harder, and severity scales difficulty — all measured with a trained model."""
+
+import numpy as np
+import pytest
+
+from repro.training import evaluate_model
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
+
+    suite = make_tiny_suite(seed=21, n_train=300, n_test=200)
+    model = make_tiny_cnn(seed=21)
+    trainer = make_tiny_trainer(model, suite, epochs=6, seed=21)
+    trainer.train()
+    return model, suite
+
+
+def error_on(model, suite, dataset):
+    return evaluate_model(
+        model, dataset.images, dataset.labels, suite.normalizer()
+    )["error"]
+
+
+class TestShiftRoles:
+    def test_model_learned_the_task(self, trained):
+        model, suite = trained
+        err = error_on(model, suite, suite.test_set())
+        assert err < 0.5  # chance is 0.75 for 4 classes
+
+    def test_shifted_set_mildly_harder(self, trained):
+        """CIFAR10.1 role: a small but real accuracy drop."""
+        model, suite = trained
+        nominal = error_on(model, suite, suite.test_set())
+        shifted = error_on(model, suite, suite.shifted_test_set())
+        assert shifted >= nominal - 0.03  # not easier
+        assert shifted <= nominal + 0.35  # not catastrophic
+
+    def test_noise_corruption_substantially_harder(self, trained):
+        model, suite = trained
+        nominal = error_on(model, suite, suite.test_set())
+        corrupted = error_on(model, suite, suite.corrupted_test_set("gaussian_noise", 4))
+        assert corrupted > nominal
+
+    def test_severity_scales_difficulty(self, trained):
+        model, suite = trained
+        errs = [
+            error_on(model, suite, suite.corrupted_test_set("gaussian_noise", s))
+            for s in (1, 3, 5)
+        ]
+        assert errs[2] >= errs[0] - 0.02  # heavier severity is not easier
+
+    def test_mild_digital_corruption_less_harmful_than_noise(self, trained):
+        """The Fig. 6 contrast: jpeg-like is benign relative to gauss."""
+        model, suite = trained
+        jpeg = error_on(model, suite, suite.corrupted_test_set("jpeg", 3))
+        gauss = error_on(model, suite, suite.corrupted_test_set("gaussian_noise", 5))
+        assert jpeg <= gauss + 0.02

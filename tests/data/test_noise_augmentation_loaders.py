@@ -1,0 +1,123 @@
+"""Noise injection, augmentation, and minibatch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import CorruptionAugmenter, random_crop_flip
+from repro.data.loaders import iterate_minibatches
+from repro.data.noise import add_uniform_noise, noise_sweep
+
+
+class TestUniformNoise:
+    def test_bounded(self, rng):
+        x = np.zeros((10, 3, 4, 4), dtype=np.float32)
+        out = add_uniform_noise(x, 0.3, rng)
+        assert np.abs(out).max() <= 0.3
+        assert np.abs(out).mean() > 0.05
+
+    def test_zero_eps_copies(self, rng):
+        x = np.ones((2, 1, 2, 2), dtype=np.float32)
+        out = add_uniform_noise(x, 0.0, rng)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x
+
+    def test_negative_eps_raises(self, rng):
+        with pytest.raises(ValueError):
+            add_uniform_noise(np.zeros(3), -0.1, rng)
+
+    def test_preserves_dtype(self, rng):
+        x = np.zeros((2, 2), dtype=np.float32)
+        assert add_uniform_noise(x, 0.1, rng).dtype == np.float32
+
+    def test_noise_sweep(self):
+        levels = noise_sweep(0.5, 6)
+        assert levels[0] == 0.0 and levels[-1] == 0.5
+        assert len(levels) == 6
+        with pytest.raises(ValueError):
+            noise_sweep(0.5, 1)
+
+
+class TestRandomCropFlip:
+    def test_shape_preserved(self, rng):
+        x = rng.random((8, 3, 10, 10)).astype(np.float32)
+        out = random_crop_flip(x, rng, pad=2)
+        assert out.shape == x.shape
+
+    def test_changes_images(self, rng):
+        x = rng.random((16, 3, 10, 10)).astype(np.float32)
+        out = random_crop_flip(x, rng, pad=2)
+        assert not np.allclose(out, x)
+
+    def test_content_preserved_statistically(self, rng):
+        x = rng.random((16, 3, 10, 10)).astype(np.float32)
+        out = random_crop_flip(x, rng, pad=2)
+        assert abs(out.mean() - x.mean()) < 0.05
+
+
+class TestCorruptionAugmenter:
+    def test_unknown_corruption_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CorruptionAugmenter(["sharknado"])
+
+    def test_applies_some_corruption(self, rng):
+        aug = CorruptionAugmenter(["gaussian_noise", "brightness"], severity=5, rng=0)
+        x = rng.random((32, 3, 8, 8)).astype(np.float32) * 0.5
+        out = aug(x)
+        assert out.shape == x.shape
+        changed = np.abs(out - x).max(axis=(1, 2, 3)) > 1e-6
+        assert changed.any()
+
+    def test_include_clean_leaves_some_untouched(self, rng):
+        aug = CorruptionAugmenter(["brightness"], severity=5, include_clean=True, rng=0)
+        x = rng.random((64, 3, 8, 8)).astype(np.float32) * 0.5
+        out = aug(x)
+        unchanged = np.abs(out - x).max(axis=(1, 2, 3)) < 1e-6
+        assert unchanged.any() and not unchanged.all()
+
+    def test_without_clean_all_corrupted(self, rng):
+        aug = CorruptionAugmenter(["brightness"], severity=5, include_clean=False, rng=0)
+        x = rng.random((16, 3, 8, 8)).astype(np.float32) * 0.5
+        out = aug(x)
+        assert (np.abs(out - x).max(axis=(1, 2, 3)) > 1e-6).all()
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self, rng):
+        x = np.arange(10, dtype=np.float32).reshape(10, 1, 1, 1)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, 3, rng=0):
+            assert len(bx) == len(by)
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_changes_order(self):
+        x = np.arange(20, dtype=np.float32).reshape(20, 1, 1, 1)
+        y = np.arange(20)
+        order = [by for _, by in iterate_minibatches(x, y, 20, rng=1)][0]
+        assert not np.array_equal(order, y)
+
+    def test_no_shuffle_keeps_order(self):
+        x = np.arange(6, dtype=np.float32).reshape(6, 1, 1, 1)
+        y = np.arange(6)
+        batches = list(iterate_minibatches(x, y, 4, shuffle=False))
+        np.testing.assert_array_equal(batches[0][1], [0, 1, 2, 3])
+        np.testing.assert_array_equal(batches[1][1], [4, 5])
+
+    def test_drop_last(self):
+        x = np.zeros((7, 1, 1, 1), dtype=np.float32)
+        y = np.zeros(7)
+        batches = list(iterate_minibatches(x, y, 3, shuffle=False, drop_last=True))
+        assert len(batches) == 2
+
+    def test_augment_applied(self):
+        x = np.zeros((4, 1, 1, 1), dtype=np.float32)
+        y = np.zeros(4)
+        batches = list(
+            iterate_minibatches(x, y, 2, shuffle=False, augment=lambda b: b + 1)
+        )
+        assert batches[0][0].mean() == 1.0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((2, 1, 1, 1)), np.zeros(2), 0))

@@ -1,0 +1,125 @@
+"""Synthetic task generators: determinism, structure, learnability signals."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ClassificationTaskConfig,
+    SegmentationTaskConfig,
+    generate_classification,
+    generate_segmentation,
+    prototype_logits,
+    shifted_config,
+)
+
+
+@pytest.fixture
+def cfg():
+    return ClassificationTaskConfig(num_classes=5, image_size=10, seed=3)
+
+
+class TestClassificationGeneration:
+    def test_shapes_and_dtypes(self, cfg):
+        images, labels = generate_classification(cfg, 32)
+        assert images.shape == (32, 3, 10, 10)
+        assert images.dtype == np.float32
+        assert labels.shape == (32,)
+        assert labels.dtype == np.int64
+
+    def test_range(self, cfg):
+        images, _ = generate_classification(cfg, 32)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_labels_in_range(self, cfg):
+        _, labels = generate_classification(cfg, 200)
+        assert labels.min() >= 0 and labels.max() < cfg.num_classes
+
+    def test_roughly_balanced(self, cfg):
+        _, labels = generate_classification(cfg, 1000)
+        counts = np.bincount(labels, minlength=cfg.num_classes)
+        assert counts.min() > 100
+
+    def test_deterministic(self, cfg):
+        a = generate_classification(cfg, 16)
+        b = generate_classification(cfg, 16)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_splits_differ(self, cfg):
+        train, _ = generate_classification(cfg, 16, "train")
+        test, _ = generate_classification(cfg, 16, "test")
+        assert not np.allclose(train, test)
+
+    def test_unknown_split_raises(self, cfg):
+        with pytest.raises(ValueError, match="split"):
+            generate_classification(cfg, 4, "validation")
+
+    def test_seed_changes_prototypes(self):
+        a = ClassificationTaskConfig(seed=0).prototypes()
+        b = ClassificationTaskConfig(seed=1).prototypes()
+        assert not np.allclose(a[0].tint, b[0].tint)
+
+    def test_class_signal_exists(self, cfg):
+        # Mean images of two classes must differ: there is class signal.
+        images, labels = generate_classification(cfg, 600)
+        mean0 = images[labels == 0].mean(axis=0)
+        mean1 = images[labels == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).mean() > 0.01
+
+
+class TestPrototypeClassifier:
+    def test_beats_chance_by_far(self, cfg):
+        images, labels = generate_classification(cfg, 400, "test")
+        acc = (prototype_logits(cfg, images).argmax(1) == labels).mean()
+        assert acc > 0.7  # chance is 0.2
+
+    def test_noise_robust(self, cfg):
+        images, labels = generate_classification(cfg, 400, "test")
+        rng = np.random.default_rng(0)
+        noisy = np.clip(images + rng.uniform(-0.2, 0.2, images.shape), 0, 1).astype(np.float32)
+        clean_acc = (prototype_logits(cfg, images).argmax(1) == labels).mean()
+        noisy_acc = (prototype_logits(cfg, noisy).argmax(1) == labels).mean()
+        assert noisy_acc > clean_acc - 0.1  # the Fig. 5 "human" property
+
+
+class TestShiftedConfig:
+    def test_same_prototypes(self, cfg):
+        shifted = shifted_config(cfg)
+        for a, b in zip(cfg.prototypes(), shifted.prototypes()):
+            np.testing.assert_array_equal(a.tint, b.tint)
+
+    def test_harder_parameters(self, cfg):
+        shifted = shifted_config(cfg)
+        assert shifted.texture_amplitude < cfg.texture_amplitude
+        assert shifted.pixel_noise > cfg.pixel_noise
+
+
+class TestSegmentationGeneration:
+    def test_shapes(self):
+        cfg = SegmentationTaskConfig(num_classes=4, image_size=16, seed=0)
+        images, masks = generate_segmentation(cfg, 8)
+        assert images.shape == (8, 3, 16, 16)
+        assert masks.shape == (8, 16, 16)
+        assert masks.dtype == np.int64
+
+    def test_labels_include_background_and_classes(self):
+        cfg = SegmentationTaskConfig(num_classes=4, image_size=16, seed=0)
+        _, masks = generate_segmentation(cfg, 32)
+        values = np.unique(masks)
+        assert 0 in values  # background
+        assert values.max() <= cfg.num_classes
+        assert len(values) > 2
+
+    def test_deterministic(self):
+        cfg = SegmentationTaskConfig(num_classes=3, image_size=12, seed=1)
+        a = generate_segmentation(cfg, 4)
+        b = generate_segmentation(cfg, 4)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_objects_textured_on_background(self):
+        cfg = SegmentationTaskConfig(num_classes=3, image_size=16, seed=2)
+        images, masks = generate_segmentation(cfg, 16)
+        fg = images[:, :, :, :][np.broadcast_to((masks > 0)[:, None], images.shape)]
+        bg = images[np.broadcast_to((masks == 0)[:, None], images.shape)]
+        assert fg.std() > bg.std()  # objects carry texture

@@ -1,0 +1,53 @@
+"""The ``python -m repro`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def micro_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestCLI:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    @pytest.fixture
+    def tiny_cli(self, micro_env, monkeypatch):
+        """Point the CLI at a micro scale so commands run in seconds."""
+        import repro.experiments as ex
+        import repro.__main__ as cli
+
+        tiny = ex.SMOKE.with_(
+            n_train=64, n_test=32, image_size=8, num_classes=4, base_width=2,
+            parent_epochs=1, retrain_epochs=0, target_ratios=(0.5,), n_repetitions=1,
+        )
+        monkeypatch.setattr(cli, "_scale", lambda args: tiny)
+        return tiny
+
+    def test_curve_command_micro(self, tiny_cli, capsys):
+        assert main(["curve", "--model", "resnet20", "--method", "wt"]) == 0
+        out = capsys.readouterr().out
+        assert "parent test error" in out
+        assert "commensurate operating point" in out
+
+    def test_potential_command_micro(self, tiny_cli, capsys):
+        assert main(["potential", "--model", "resnet20", "--method", "wt"]) == 0
+        out = capsys.readouterr().out
+        assert "Prune potential" in out
+        assert "nominal" in out
+
+    def test_tables_command_micro(self, tiny_cli, capsys):
+        assert main(["tables", "--model", "resnet20"]) == 0
+        out = capsys.readouterr().out
+        assert "PR/FR at commensurate accuracy" in out
+        assert "train vs test distribution" in out

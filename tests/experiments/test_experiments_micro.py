@@ -1,0 +1,169 @@
+"""End-to-end micro-scale runs of every experiment entry point.
+
+These use a deliberately tiny scale (1-epoch training, 2 checkpoints, one
+repetition) — they verify plumbing and result structure, not science; the
+benchmarks exercise the calibrated scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import experiments as ex
+
+
+@pytest.fixture(scope="module")
+def micro(tmp_path_factory):
+    """Micro scale + isolated cache shared by this module."""
+    import os
+
+    cache = tmp_path_factory.mktemp("zoo")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    scale = ex.SMOKE.with_(
+        n_train=96,
+        n_test=48,
+        image_size=8,
+        num_classes=4,
+        base_width=2,
+        parent_epochs=1,
+        retrain_epochs=1,
+        target_ratios=(0.4, 0.8),
+        n_repetitions=1,
+        noise_levels=(0.0, 0.3),
+        noise_trials=1,
+        noise_images=16,
+        backselect_images=1,
+        backselect_pixels_per_step=32,
+    )
+    yield scale
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+CORRUPTIONS = ["gaussian_noise", "jpeg"]
+
+
+class TestPruneCurves:
+    def test_result_structure(self, micro):
+        res = ex.prune_curve_experiment("cifar", "resnet20", "wt", micro)
+        assert res.errors.shape == (1, 2)
+        assert res.flop_reductions.shape == (1, 2)
+        assert (np.diff(res.flop_reductions[0]) > 0).all()
+        assert res.accuracy_drop.shape == (2,)
+
+    def test_summary_row(self, micro):
+        res = ex.prune_curve_experiment("cifar", "resnet20", "wt", micro)
+        row = ex.prune_summary_row(res, delta=1.0)  # everything commensurate
+        assert row.prune_ratio == pytest.approx(res.ratios.max())
+        assert row.commensurate
+
+    def test_summary_row_fallback(self, micro):
+        res = ex.prune_curve_experiment("cifar", "resnet20", "wt", micro)
+        row = ex.prune_summary_row(res, delta=-1.0)  # nothing commensurate
+        assert not row.commensurate
+
+
+class TestNoiseStudies:
+    def test_noise_potential(self, micro):
+        res = ex.noise_potential_experiment("cifar", "resnet20", "wt", micro)
+        assert res.potentials.shape == (1, 2)
+        assert res.mean.shape == (2,)
+        assert (res.potentials >= 0).all() and (res.potentials <= 1).all()
+
+    def test_noise_similarity(self, micro):
+        res = ex.noise_similarity_experiment("cifar", "resnet20", "wt", micro)
+        assert res.match_rates.shape == (2, 2)  # (ckpts, levels)
+        assert res.separate_match_rates.shape == (2,)
+        assert (res.match_rates <= 1).all() and (res.match_rates >= 0).all()
+        assert (res.l2_distances >= 0).all()
+
+
+class TestBackselect:
+    def test_heatmap(self, micro):
+        res = ex.backselect_heatmap_experiment(
+            "cifar", "resnet20", "wt", micro, n_pruned=2
+        )
+        m = len(res.labels)
+        assert res.heatmap.shape == (m, m)
+        assert res.labels[0].startswith("parent")
+        assert res.labels[-1] == "separate"
+        assert (res.heatmap >= 0).all() and (res.heatmap <= 1).all()
+
+
+class TestCorruptionStudies:
+    def test_potential(self, micro):
+        res = ex.corruption_potential_experiment(
+            "cifar", "resnet20", "wt", micro, corruptions=CORRUPTIONS
+        )
+        assert res.distributions == ["nominal", "shifted", *CORRUPTIONS]
+        assert res.potentials.shape == (1, 4)
+        assert res.potential_of("jpeg").shape == (1,)
+        assert len(res.curves["nominal"]) == 1
+
+    def test_excess_error(self, micro):
+        res = ex.corruption_excess_error_experiment(
+            "cifar", "resnet20", "wt", micro, corruptions=CORRUPTIONS
+        )
+        assert res.differences.shape == (1, 2)
+        lo, hi = res.slope_ci
+        assert lo <= hi
+
+    def test_delta_sweep_monotone_in_delta(self, micro):
+        res = ex.delta_sweep_experiment(
+            "cifar", "resnet20", "wt", micro, deltas=(0.0, 0.5), corruptions=["jpeg"]
+        )
+        mean = res.mean()
+        assert mean.shape == (2, 3)
+        assert (mean[1] >= mean[0]).all()  # larger delta never reduces potential
+
+
+class TestSeveritySweep:
+    def test_structure_and_range(self, micro):
+        from repro.experiments.corruption_study import severity_sweep_experiment
+
+        res = severity_sweep_experiment(
+            "cifar", "resnet20", "wt", micro, corruption="gaussian_noise",
+            severities=(1, 5),
+        )
+        assert res.potentials.shape == (1, 2)
+        assert (res.potentials >= 0).all() and (res.potentials <= 1).all()
+        assert res.corruption == "gaussian_noise"
+
+
+class TestRobustStudies:
+    def test_robust_potential_split(self, micro):
+        res = ex.robust_potential_experiment("cifar", "resnet20", "wt", micro)
+        train_m = res.train_dist_potentials()
+        test_m = res.test_dist_potentials()
+        assert train_m.shape[1] == len(res.protocol.train_corruptions) + 1
+        assert test_m.shape[1] == len(res.protocol.test_corruptions) + 1
+
+    def test_robust_excess_error(self, micro):
+        res = ex.robust_excess_error_experiment("cifar", "resnet20", "wt", micro)
+        assert res.differences.shape[1] == 2
+
+
+class TestTables:
+    def test_pr_fr_table(self, micro):
+        rows, text = ex.pr_fr_table("cifar", ["resnet20"], ["wt"], micro)
+        assert len(rows) == 1
+        assert "PR (%)" in text and "resnet20" in text
+
+    def test_overparam_table_nominal(self, micro):
+        rows, text = ex.overparam_table("cifar", ["resnet20"], ["wt"], micro)
+        assert len(rows) == 1
+        assert rows[0].train_dist.average_mean >= rows[0].train_dist.minimum_mean - 1e-9
+        assert "nominal training" in text
+
+    def test_overparam_table_robust(self, micro):
+        rows, text = ex.overparam_table("cifar", ["resnet20"], ["wt"], micro, robust=True)
+        assert "robust training" in text
+
+
+class TestSegmentationTask:
+    def test_voc_prune_curve(self, micro):
+        res = ex.prune_curve_experiment("voc", "deeplab_small", "wt", micro)
+        assert res.errors.shape == (1, 2)
+        assert np.isfinite(res.errors).all()

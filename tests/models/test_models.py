@@ -1,0 +1,132 @@
+"""Model families: shapes, structure, registry, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.autograd import Tensor, no_grad
+from repro.nn.conv import Conv2d
+from repro.pruning.mask import prunable_layers, structured_prunable_layers
+
+
+def fwd(model, size=16, channels=3, batch=2):
+    x = Tensor(np.random.default_rng(0).standard_normal((batch, channels, size, size)).astype(np.float32))
+    model.eval()
+    with no_grad():
+        return model(x)
+
+
+CLASSIFIERS = ["resnet20", "resnet56", "vgg16", "densenet22", "wrn16_8"]
+
+
+class TestClassifierShapes:
+    @pytest.mark.parametrize("name", CLASSIFIERS)
+    def test_output_shape(self, name):
+        model = models.build_model(name, num_classes=7, base_width=4, rng=0)
+        assert fwd(model).shape == (2, 7)
+
+    def test_resnet18_four_stages(self):
+        model = models.resnet18(num_classes=5, base_width=4, rng=0)
+        assert fwd(model, size=24).shape == (2, 5)
+
+    def test_segnet_dense_output(self):
+        model = models.deeplab_small(num_classes=6, base_width=4, rng=0)
+        out = fwd(model, size=16)
+        assert out.shape == (2, 6, 16, 16)
+
+    def test_segnet_rejects_indivisible_input(self):
+        model = models.deeplab_small(num_classes=3, base_width=4, rng=0)
+        with pytest.raises(ValueError, match="divisible by 4"):
+            fwd(model, size=18)
+
+
+class TestFamilyStructure:
+    def test_resnet_depths(self):
+        assert models.resnet20(rng=0).depth == 20
+        assert models.resnet56(rng=0).depth == 56
+
+    def test_resnet110_block_count(self):
+        model = models.resnet110(base_width=2, rng=0)
+        assert model.depth == 110
+        assert len(model.stages) == 3 * 18
+
+    def test_deeper_resnet_has_more_params(self):
+        p20 = models.resnet20(base_width=4, rng=0).num_parameters()
+        p56 = models.resnet56(base_width=4, rng=0).num_parameters()
+        assert p56 > 2 * p20
+
+    def test_wrn_is_wide_and_shallow(self):
+        wrn = models.wrn16_8(base_width=4, rng=0)
+        r56 = models.resnet56(base_width=4, rng=0)
+        assert wrn.depth < r56.depth
+        # Widest conv layer of WRN is wider than ResNet56's widest.
+        wrn_max = max(m.out_channels for _, m in prunable_layers(wrn) if isinstance(m, Conv2d))
+        r56_max = max(m.out_channels for _, m in prunable_layers(r56) if isinstance(m, Conv2d))
+        assert wrn_max > r56_max
+
+    def test_vgg_has_13_convs(self):
+        model = models.vgg16(base_width=2, rng=0)
+        convs = [m for _, m in prunable_layers(model) if isinstance(m, Conv2d)]
+        assert len(convs) == 13
+
+    def test_densenet_concatenation_grows_channels(self):
+        model = models.densenet22(growth_rate=4, rng=0)
+        convs = [m for _, m in prunable_layers(model) if isinstance(m, Conv2d)]
+        in_channels = [c.in_channels for c in convs]
+        assert max(in_channels) > min(in_channels[1:])
+
+    def test_all_families_have_structured_layers(self):
+        for name in CLASSIFIERS:
+            model = models.build_model(name, num_classes=4, base_width=4, rng=0)
+            assert structured_prunable_layers(model), name
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = models.available_models()
+        assert "resnet20" in names and "deeplab_small" in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            models.build_model("alexnet")
+
+    def test_register_custom(self):
+        models.register_model("custom-test", lambda **kw: models.MLP(12, num_classes=2))
+        model = models.build_model("custom-test")
+        assert model.num_parameters() > 0
+
+    def test_mlp_entry(self):
+        model = models.build_model("mlp", num_classes=3, in_features=12)
+        out = model(Tensor(np.zeros((2, 12), dtype=np.float32)))
+        assert out.shape == (2, 3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["resnet20", "vgg16"])
+    def test_same_seed_same_weights(self, name):
+        a = models.build_model(name, base_width=4, rng=np.random.default_rng(3))
+        b = models.build_model(name, base_width=4, rng=np.random.default_rng(3))
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seed_different_weights(self):
+        a = models.resnet20(base_width=4, rng=np.random.default_rng(0))
+        b = models.resnet20(base_width=4, rng=np.random.default_rng(1))
+        diffs = [
+            not np.allclose(pa.data, pb.data)
+            for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters())
+            if pa.size > 4
+        ]
+        assert any(diffs)
+
+
+class TestGradientFlow:
+    @pytest.mark.parametrize("name", ["resnet20", "densenet22", "wrn16_8"])
+    def test_all_parameters_receive_gradient(self, name):
+        model = models.build_model(name, num_classes=4, base_width=4, rng=0)
+        model.train()
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 3, 8, 8)).astype(np.float32))
+        model(x).sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing

@@ -1,0 +1,60 @@
+"""FLOP accounting and FR computation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.flops import count_flops, flop_reduction
+
+
+def net():
+    rng = np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, bias=False, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4, 2, rng=rng),
+    )
+
+
+class TestCountFlops:
+    def test_conv_flops_formula(self):
+        model = net()
+        # conv: 2 * (4*3*3*3) * 8 * 8 ; linear: 2 * (2*4) + 2 bias
+        expected = 2 * 4 * 3 * 3 * 3 * 64 + 2 * 8 + 2
+        assert count_flops(model, (3, 8, 8)) == expected
+
+    def test_masked_weights_reduce_flops(self):
+        model = net()
+        base = count_flops(model, (3, 8, 8))
+        conv = model[0]
+        mask = np.ones_like(conv.weight_mask)
+        mask[0] = 0  # remove one filter: 27 weights * 64 positions * 2
+        conv.set_weight_mask(mask)
+        assert count_flops(model, (3, 8, 8)) == base - 2 * 27 * 64
+
+    def test_input_size_scales_conv_flops(self):
+        model = net()
+        small = count_flops(model, (3, 8, 8))
+        large = count_flops(model, (3, 16, 16))
+        assert large > small
+
+    def test_restores_training_mode(self):
+        model = net()
+        model.train()
+        count_flops(model, (3, 8, 8))
+        assert model.training
+
+
+class TestFlopReduction:
+    def test_zero_for_identical(self):
+        assert flop_reduction(net(), net(), (3, 8, 8)) == pytest.approx(0.0)
+
+    def test_half_when_half_weights_masked(self):
+        pruned = net()
+        conv = pruned[0]
+        mask = np.ones_like(conv.weight_mask)
+        mask[:2] = 0
+        conv.set_weight_mask(mask)
+        fr = flop_reduction(pruned, net(), (3, 8, 8))
+        assert 0.45 < fr < 0.55  # conv dominates; linear unpruned

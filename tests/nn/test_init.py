@@ -1,0 +1,44 @@
+"""Weight initialization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFan:
+    def test_linear_fan(self):
+        assert init._fan((8, 4)) == (4, 8)
+
+    def test_conv_fan(self):
+        assert init._fan((16, 8, 3, 3)) == (8 * 9, 16 * 9)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            init._fan((3,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((256, 128), rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 128), rel=0.1)
+        assert w.dtype == np.float32
+
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform((64, 64), rng=0)
+        bound = np.sqrt(6.0 / 64)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((64, 32), rng=0)
+        bound = np.sqrt(6.0 / 96)
+        assert np.abs(w).max() <= bound
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(
+            init.kaiming_normal((4, 4), rng=5), init.kaiming_normal((4, 4), rng=5)
+        )
+
+    def test_zeros_ones(self):
+        assert init.zeros((3,)).sum() == 0
+        assert init.ones((3,)).sum() == 3

@@ -1,0 +1,168 @@
+"""Individual layer behaviour: shapes, values, validation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+@pytest.fixture
+def x_img(rng):
+    return Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        out = layer(Tensor(np.zeros((4, 5), dtype=np.float32)))
+        assert out.shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 5), dtype=np.float32)))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_init_is_seed_deterministic(self):
+        a = nn.Linear(5, 3, rng=np.random.default_rng(3))
+        b = nn.Linear(5, 3, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_extra_repr(self):
+        assert "in_features=5" in repr(nn.Linear(5, 3))
+
+
+class TestConv2d:
+    @pytest.mark.parametrize(
+        "stride,padding,expected_hw", [(1, 1, (8, 8)), (2, 1, (4, 4)), (1, 0, (6, 6))]
+    )
+    def test_output_shape(self, rng, x_img, stride, padding, expected_hw):
+        conv = nn.Conv2d(3, 6, 3, stride=stride, padding=padding, rng=rng)
+        out = conv(x_img)
+        assert out.shape == (2, 6, *expected_hw)
+        assert conv.last_output_hw == expected_hw
+
+    def test_bias_shifts_output(self, rng, x_img):
+        conv = nn.Conv2d(3, 2, 1, rng=rng)
+        conv.weight.data[:] = 0.0
+        conv.bias.data[:] = [1.0, -1.0]
+        out = conv(x_img)
+        np.testing.assert_allclose(out.data[:, 0], 1.0)
+        np.testing.assert_allclose(out.data[:, 1], -1.0)
+
+
+class TestActivations:
+    def test_relu(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_tanh(self):
+        out = nn.Tanh()(Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_sigmoid(self):
+        out = nn.Sigmoid()(Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.5])
+
+
+class TestPoolingLayers:
+    def test_max_pool(self, rng, x_img):
+        assert nn.MaxPool2d(2)(x_img).shape == (2, 3, 4, 4)
+
+    def test_avg_pool_custom_stride(self, rng, x_img):
+        assert nn.AvgPool2d(2, stride=1)(x_img).shape == (2, 3, 7, 7)
+
+    def test_global_avg_pool(self, x_img):
+        assert nn.GlobalAvgPool2d()(x_img).shape == (2, 3)
+
+    def test_upsample(self, x_img):
+        assert nn.UpsampleNearest2d(2)(x_img).shape == (2, 3, 16, 16)
+
+
+class TestStructural:
+    def test_flatten(self, x_img):
+        assert nn.Flatten()(x_img).shape == (2, 3 * 8 * 8)
+
+    def test_identity(self, x_img):
+        assert nn.Identity()(x_img) is x_img
+
+    def test_dropout_train_vs_eval(self, rng, x_img):
+        drop = nn.Dropout(0.5, rng=rng)
+        drop.train()
+        out_train = drop(x_img)
+        assert (out_train.data == 0).any()
+        drop.eval()
+        assert drop(x_img) is x_img
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestContainers:
+    def test_sequential_order(self, rng):
+        net = nn.Sequential(nn.Linear(4, 3, rng=rng), nn.ReLU(), nn.Linear(3, 2, rng=rng))
+        out = net(Tensor(np.zeros((1, 4), dtype=np.float32)))
+        assert out.shape == (1, 2)
+        assert len(net) == 3
+        assert isinstance(net[1], nn.ReLU)
+
+    def test_sequential_iter(self, rng):
+        net = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert [type(m).__name__ for m in net] == ["ReLU", "Tanh"]
+
+    def test_module_list(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert ml[0] is not ml[1]
+        names = [n for n, _ in ml.named_parameters()]
+        assert "2.weight" in names
+
+    def test_module_list_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.ReLU())
+        assert len(ml) == 1
+
+    def test_module_list_negative_index(self):
+        layers = [nn.ReLU(), nn.Tanh()]
+        ml = nn.ModuleList(layers)
+        assert ml[-1] is layers[-1]
+
+
+class TestBatchNormLayers:
+    def test_bn2d_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(np.zeros((2, 3), dtype=np.float32)))
+
+    def test_bn1d_rejects_4d_input(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(np.zeros((2, 3, 4, 4), dtype=np.float32)))
+
+    def test_running_stats_update_only_in_train(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)).astype(np.float32) + 2.0)
+        bn.eval()
+        bn(x)
+        np.testing.assert_array_equal(bn.running_mean, np.zeros(3))
+        bn.train()
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+
+class TestCrossEntropyLossModule:
+    def test_classification(self, rng):
+        loss = nn.CrossEntropyLoss()(
+            Tensor(rng.standard_normal((4, 3)).astype(np.float32)), np.array([0, 1, 2, 0])
+        )
+        assert loss.shape == ()
+        assert loss.item() > 0
+
+    def test_segmentation_matches_flattened(self, rng):
+        logits = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        targets = rng.integers(0, 3, (2, 4, 4))
+        dense = nn.CrossEntropyLoss()(Tensor(logits), targets)
+        flat = nn.CrossEntropyLoss()(
+            Tensor(logits.transpose(0, 2, 3, 1).reshape(-1, 3)), targets.reshape(-1)
+        )
+        assert dense.item() == pytest.approx(flat.item(), rel=1e-6)

@@ -1,0 +1,79 @@
+"""Learning-rate schedule factors."""
+
+import pytest
+
+from repro.optim import (
+    ConstantLR,
+    MultiStepLR,
+    PolynomialLR,
+    StepEveryLR,
+    WarmupLR,
+)
+
+
+class TestConstant:
+    def test_always_one(self):
+        s = ConstantLR()
+        assert s(0) == s(5.5) == s(1000) == 1.0
+
+
+class TestMultiStep:
+    def test_decays_at_milestones(self):
+        s = MultiStepLR([10, 20], gamma=0.1)
+        assert s(5) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(15) == pytest.approx(0.1)
+        assert s(20) == pytest.approx(0.01)
+
+    def test_unsorted_milestones_handled(self):
+        s = MultiStepLR([20, 10], gamma=0.5)
+        assert s(15) == pytest.approx(0.5)
+
+
+class TestStepEvery:
+    def test_periodic_decay(self):
+        s = StepEveryLR(30, gamma=0.5)
+        assert s(29.9) == 1.0
+        assert s(30) == pytest.approx(0.5)
+        assert s(90) == pytest.approx(0.125)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            StepEveryLR(0, 0.5)
+
+
+class TestPolynomial:
+    def test_boundary_values(self):
+        s = PolynomialLR(100, power=0.9)
+        assert s(0) == 1.0
+        assert s(100) == 0.0
+        assert 0 < s(50) < 1
+
+    def test_clamps_past_end(self):
+        assert PolynomialLR(10)(20) == 0.0
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            PolynomialLR(0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        s = WarmupLR(ConstantLR(), warmup_epochs=2)
+        assert s(0) == 0.0
+        assert s(1) == pytest.approx(0.5)
+        assert s(2) == 1.0
+        assert s(5) == 1.0
+
+    def test_composes_with_base(self):
+        s = WarmupLR(MultiStepLR([10], 0.1), warmup_epochs=2)
+        assert s(1) == pytest.approx(0.5)
+        assert s(10) == pytest.approx(0.1)
+
+    def test_zero_warmup_is_base(self):
+        s = WarmupLR(ConstantLR(), warmup_epochs=0)
+        assert s(0) == 1.0
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(ValueError):
+            WarmupLR(ConstantLR(), -1)

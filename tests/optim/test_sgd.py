@@ -1,0 +1,86 @@
+"""SGD update rule vs hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def make_param(value=1.0):
+    p = Parameter(np.array([value], dtype=np.float32))
+    p.grad = np.array([0.5], dtype=np.float32)
+    return p
+
+
+class TestVanilla:
+    def test_plain_step(self):
+        p = make_param()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_weight_decay(self):
+        p = make_param()
+        SGD([p], lr=0.1, weight_decay=0.01).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * (0.5 + 0.01 * 1.0)], rtol=1e-6)
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestMomentum:
+    def test_two_steps_accumulate_velocity(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()  # v = 0.5, w = 1 - 0.05 = 0.95
+        p.grad = np.array([0.5], dtype=np.float32)
+        opt.step()  # v = 0.9*0.5 + 0.5 = 0.95, w = 0.95 - 0.095
+        np.testing.assert_allclose(p.data, [0.95 - 0.1 * 0.95], rtol=1e-6)
+
+    def test_nesterov_uses_lookahead(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        opt.step()  # v = 0.5; update = grad + 0.9*v = 0.95
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.95], rtol=1e-6)
+
+    def test_reset_state_clears_velocity(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()
+        opt.reset_state()
+        p.grad = np.array([0.5], dtype=np.float32)
+        before = p.data.copy()
+        opt.step()
+        np.testing.assert_allclose(p.data, before - 0.1 * 0.5, rtol=1e-6)
+
+
+class TestValidation:
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_nesterov_without_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+
+
+class TestConvergence:
+    def test_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            p.grad = 2 * p.data  # d/dw of w^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3

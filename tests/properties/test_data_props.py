@@ -1,0 +1,95 @@
+"""Property-based tests of data generation and corruption invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.corruptions import available_corruptions, corrupt
+from repro.data.noise import add_uniform_noise
+from repro.data.synthetic import ClassificationTaskConfig, generate_classification
+from repro.utils.serialization import load_state, save_state
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(2, 8),
+        st.sampled_from([8, 10, 12]),
+        st.integers(0, 10_000),
+    )
+    def test_always_valid_images(self, num_classes, size, seed):
+        cfg = ClassificationTaskConfig(num_classes=num_classes, image_size=size, seed=seed)
+        images, labels = generate_classification(cfg, 12)
+        assert images.shape == (12, 3, size, size)
+        assert np.isfinite(images).all()
+        assert images.min() >= 0 and images.max() <= 1
+        assert (labels >= 0).all() and (labels < num_classes).all()
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_seed_determinism(self, seed):
+        cfg = ClassificationTaskConfig(num_classes=3, image_size=8, seed=seed)
+        a, la = generate_classification(cfg, 6)
+        b, lb = generate_classification(cfg, 6)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+
+class TestCorruptionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(available_corruptions()),
+        st.integers(1, 5),
+        st.integers(0, 100),
+    )
+    def test_output_always_valid(self, name, severity, seed):
+        rng = np.random.default_rng(0)
+        images = rng.random((4, 3, 8, 8)).astype(np.float32)
+        out = corrupt(images, name, severity, seed=seed)
+        assert out.shape == images.shape
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestNoiseProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.0, 1.0), st.integers(0, 100))
+    def test_linf_bound_respected(self, eps, seed):
+        x = np.zeros((3, 4, 4), dtype=np.float32)
+        out = add_uniform_noise(x, eps, np.random.default_rng(seed))
+        assert np.abs(out).max() <= eps + 1e-7
+
+
+class TestSerializationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="_./"),
+                min_size=1,
+                max_size=12,
+            ).filter(lambda s: s != "__meta__"),
+            st.sampled_from(["f32", "f64", "i64"]),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 1000),
+    )
+    def test_roundtrip_arbitrary_state(self, spec, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        dtypes = {"f32": np.float32, "f64": np.float64, "i64": np.int64}
+        arrays = {
+            key: (rng.random((2, 3)) * 10).astype(dtypes[kind]) for key, kind in spec.items()
+        }
+        tmp = tempfile.mkdtemp(prefix="repro-ser-")
+        path = Path(tmp) / "state"
+        save_state(path, arrays, {"n": len(arrays)})
+        loaded, meta = load_state(path)
+        assert set(loaded) == set(arrays)
+        for key in arrays:
+            np.testing.assert_array_equal(loaded[key], arrays[key])
+            assert loaded[key].dtype == arrays[key].dtype
+        assert meta == {"n": len(arrays)}

@@ -1,0 +1,70 @@
+"""Prunable-layer enumeration and ratio bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.pruning.mask import (
+    model_prune_ratio,
+    prunable_layers,
+    pruned_weights,
+    reset_masks,
+    structured_prunable_layers,
+    total_prunable_weights,
+)
+
+from tests.conftest import make_tiny_cnn
+
+
+class TestEnumeration:
+    def test_prunable_layers_are_conv_and_linear(self):
+        model = make_tiny_cnn()
+        layers = prunable_layers(model)
+        assert len(layers) == 4  # 3 convs + 1 linear
+        assert all(hasattr(m, "weight_mask") for _, m in layers)
+
+    def test_forward_order(self):
+        model = make_tiny_cnn()
+        names = [n for n, _ in prunable_layers(model)]
+        assert names == sorted(names, key=lambda n: int(n.split(".")[0]))
+
+    def test_structured_skips_image_fed_and_linear(self):
+        model = make_tiny_cnn()
+        structured = structured_prunable_layers(model)
+        # first conv has 3 input channels -> skipped; linear skipped
+        assert len(structured) == 2
+        assert all(m.in_channels >= 4 for _, m in structured)
+
+    def test_total_prunable_weights(self):
+        model = make_tiny_cnn()
+        expected = sum(m.weight.size for _, m in prunable_layers(model))
+        assert total_prunable_weights(model) == expected
+
+
+class TestRatios:
+    def test_zero_initially(self):
+        assert model_prune_ratio(make_tiny_cnn()) == 0.0
+
+    def test_ratio_counts_masked(self):
+        model = make_tiny_cnn()
+        _, layer = prunable_layers(model)[0]
+        mask = np.ones_like(layer.weight_mask)
+        mask[0] = 0
+        layer.set_weight_mask(mask)
+        assert pruned_weights(model) == layer.num_pruned
+        assert model_prune_ratio(model) == pytest.approx(
+            layer.num_pruned / total_prunable_weights(model)
+        )
+
+    def test_no_prunable_raises(self):
+        with pytest.raises(ValueError):
+            model_prune_ratio(nn.Sequential(nn.ReLU()))
+
+    def test_reset_masks(self):
+        model = make_tiny_cnn()
+        _, layer = prunable_layers(model)[0]
+        mask = np.zeros_like(layer.weight_mask)
+        mask[0] = 1
+        layer.set_weight_mask(mask)
+        reset_masks(model)
+        assert model_prune_ratio(model) == 0.0

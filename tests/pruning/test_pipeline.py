@@ -1,0 +1,122 @@
+"""PRUNERETRAIN pipeline and PruneRun artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.pruning import (
+    PruneRetrain,
+    PruneRun,
+    WeightThresholding,
+    available_methods,
+    build_method,
+    model_prune_ratio,
+)
+
+from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """A 2-target WT run on a briefly trained tiny model."""
+    suite = make_tiny_suite(seed=4)
+    model = make_tiny_cnn(seed=4)
+    trainer = make_tiny_trainer(model, suite, epochs=1, seed=4)
+    trainer.train()
+    pipeline = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=1)
+    return pipeline.run(target_ratios=[0.3, 0.6]), suite
+
+
+class TestRegistry:
+    def test_four_methods(self):
+        assert available_methods() == ["ft", "pfp", "sipp", "wt"]
+
+    @pytest.mark.parametrize("name", ["wt", "sipp", "ft", "pfp"])
+    def test_build(self, name):
+        method = build_method(name)
+        assert method.name == name
+
+    def test_build_case_insensitive(self):
+        assert build_method("WT").name == "wt"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown pruning method"):
+            build_method("magnitude")
+
+
+class TestRun:
+    def test_checkpoints_per_target(self, small_run):
+        run, _ = small_run
+        assert len(run.checkpoints) == 2
+        np.testing.assert_allclose(run.ratios, [0.3, 0.6], atol=0.01)
+
+    def test_parent_preserved(self, small_run):
+        run, suite = small_run
+        model = make_tiny_cnn(seed=4)
+        run.restore_parent(model)
+        assert model_prune_ratio(model) == 0.0
+
+    def test_checkpoints_restore_with_masks(self, small_run):
+        run, _ = small_run
+        model = make_tiny_cnn(seed=4)
+        run.restore(model, 1)
+        assert model_prune_ratio(model) == pytest.approx(0.6, abs=0.01)
+
+    def test_errors_recorded(self, small_run):
+        run, _ = small_run
+        assert np.isfinite(run.parent_test_error)
+        assert np.isfinite(run.test_errors).all()
+        assert (run.test_errors >= 0).all() and (run.test_errors <= 1).all()
+
+    def test_meta_records_targets(self, small_run):
+        run, _ = small_run
+        assert run.meta["target_ratios"] == [0.3, 0.6]
+
+
+class TestRunValidation:
+    def test_rejects_pruned_start(self):
+        suite = make_tiny_suite(seed=5)
+        model = make_tiny_cnn(seed=5)
+        WeightThresholding().prune(model, 0.2)
+        trainer = make_tiny_trainer(model, suite, epochs=1, seed=5)
+        pipeline = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=1)
+        with pytest.raises(ValueError, match="already pruned"):
+            pipeline.run(target_ratios=[0.5])
+
+    def test_rejects_out_of_range_targets(self):
+        suite = make_tiny_suite(seed=5)
+        trainer = make_tiny_trainer(make_tiny_cnn(seed=5), suite, epochs=1)
+        pipeline = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=1)
+        with pytest.raises(ValueError, match="target ratios"):
+            pipeline.run(target_ratios=[0.5, 1.0])
+
+    def test_targets_sorted_internally(self):
+        suite = make_tiny_suite(seed=6)
+        trainer = make_tiny_trainer(make_tiny_cnn(seed=6), suite, epochs=1, seed=6)
+        trainer.train()
+        pipeline = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=0)
+        run = pipeline.run(target_ratios=[0.6, 0.3])
+        assert run.checkpoints[0].target_ratio == 0.3
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, small_run, tmp_path):
+        run, _ = small_run
+        path = run.save(tmp_path / "run")
+        loaded = PruneRun.load(path)
+        assert loaded.method_name == run.method_name
+        assert loaded.parent_test_error == run.parent_test_error
+        assert len(loaded.checkpoints) == len(run.checkpoints)
+        for a, b in zip(loaded.checkpoints, run.checkpoints):
+            assert a.achieved_ratio == b.achieved_ratio
+            assert a.test_error == b.test_error
+            for key in b.state:
+                np.testing.assert_array_equal(a.state[key], b.state[key])
+        for key in run.parent_state:
+            np.testing.assert_array_equal(loaded.parent_state[key], run.parent_state[key])
+
+    def test_loaded_run_restores_into_model(self, small_run, tmp_path):
+        run, _ = small_run
+        loaded = PruneRun.load(run.save(tmp_path / "run2"))
+        model = make_tiny_cnn(seed=4)
+        loaded.restore(model, 0)
+        assert model_prune_ratio(model) == pytest.approx(0.3, abs=0.01)

@@ -1,0 +1,71 @@
+"""Retrain-mode variants of PRUNERETRAIN (lr_rewind / finetune / weight_rewind)."""
+
+import numpy as np
+import pytest
+
+from repro.pruning import PruneRetrain, WeightThresholding, model_prune_ratio
+from repro.pruning.mask import prunable_layers
+
+from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
+
+
+def build(mode, seed=12, retrain_epochs=1):
+    suite = make_tiny_suite(seed=seed)
+    model = make_tiny_cnn(seed=seed)
+    trainer = make_tiny_trainer(model, suite, epochs=1, seed=seed)
+    trainer.train()
+    pipeline = PruneRetrain(
+        trainer, WeightThresholding(), retrain_epochs=retrain_epochs, retrain_mode=mode
+    )
+    return pipeline, model
+
+
+class TestValidation:
+    def test_unknown_mode_raises(self):
+        suite = make_tiny_suite()
+        trainer = make_tiny_trainer(make_tiny_cnn(), suite, epochs=1)
+        with pytest.raises(ValueError, match="retrain_mode"):
+            PruneRetrain(trainer, WeightThresholding(), retrain_mode="magic")
+
+
+class TestModesRun:
+    @pytest.mark.parametrize("mode", PruneRetrain.RETRAIN_MODES)
+    def test_run_produces_valid_checkpoints(self, mode):
+        pipeline, model = build(mode)
+        run = pipeline.run(target_ratios=[0.4, 0.7])
+        np.testing.assert_allclose(run.ratios, [0.4, 0.7], atol=0.01)
+        assert np.isfinite(run.test_errors).all()
+        assert model_prune_ratio(model) == pytest.approx(0.7, abs=0.01)
+
+
+class TestWeightRewind:
+    def test_surviving_weights_rewound_to_parent(self):
+        """With 0 retrain epochs, weight_rewind leaves surviving weights at
+        exactly their parent values (masks applied on top)."""
+        pipeline, model = build("weight_rewind", retrain_epochs=0)
+        run = pipeline.run(target_ratios=[0.5])
+        for name, layer in prunable_layers(model):
+            parent_w = run.parent_state[f"{name}.weight"]
+            mask = layer.weight_mask
+            np.testing.assert_allclose(layer.weight.data, parent_w * mask, rtol=1e-6)
+
+    def test_lr_rewind_keeps_retrained_weights(self):
+        """Without rewinding + 0 retrain epochs, the pruned weights are the
+        parent's masked weights too — but after retraining they drift."""
+        pipeline, model = build("lr_rewind", retrain_epochs=1)
+        run = pipeline.run(target_ratios=[0.5])
+        drift = 0.0
+        for name, layer in prunable_layers(model):
+            parent_w = run.parent_state[f"{name}.weight"] * layer.weight_mask
+            drift += np.abs(layer.weight.data - parent_w).sum()
+        assert drift > 0
+
+
+class TestFinetune:
+    def test_finetune_uses_decayed_lr(self):
+        pipeline, model = build("finetune", retrain_epochs=1)
+        cfg = pipeline.trainer.config
+        final_factor = cfg.schedule(cfg.epochs)
+        assert final_factor < 1.0  # the tiny trainer decays at 75% of epochs
+        run = pipeline.run(target_ratios=[0.4])
+        assert len(run.checkpoints) == 1

@@ -1,0 +1,164 @@
+"""FT and PFP: channel selection, allocation, targets, monotonicity."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.pruning import FilterThresholding, ProvableFilterPruning, model_prune_ratio
+from repro.pruning.ft import channel_l1_sensitivity
+from repro.pruning.mask import structured_prunable_layers
+from repro.pruning.pfp import channel_linf_sensitivity
+from repro.pruning.structured import (
+    apply_channel_counts,
+    channel_weight_cost,
+    pruned_channels,
+)
+
+from tests.conftest import make_tiny_cnn
+
+
+def sample_batch(rng, shape=(8, 3, 8, 8)):
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+class TestStructuredHelpers:
+    def test_channel_weight_cost(self):
+        conv = nn.Conv2d(4, 6, 3)
+        assert channel_weight_cost(conv) == 6 * 9
+
+    def test_pruned_channels_detects_columns(self):
+        conv = nn.Conv2d(4, 6, 3)
+        mask = np.ones_like(conv.weight_mask)
+        mask[:, 2] = 0
+        conv.set_weight_mask(mask)
+        np.testing.assert_array_equal(pruned_channels(conv), [False, False, True, False])
+
+    def test_apply_counts_prunes_lowest(self, rng):
+        model = make_tiny_cnn()
+        name, layer = structured_prunable_layers(model)[0]
+        sens = {n: np.arange(l.in_channels, dtype=float) for n, l in structured_prunable_layers(model)}
+        apply_channel_counts(model, sens, {name: 2})
+        np.testing.assert_array_equal(pruned_channels(layer)[:2], [True, True])
+        assert pruned_channels(layer)[2:].sum() == 0
+
+    def test_cannot_prune_all_channels(self):
+        model = make_tiny_cnn()
+        name, layer = structured_prunable_layers(model)[0]
+        sens = {n: np.ones(l.in_channels) for n, l in structured_prunable_layers(model)}
+        with pytest.raises(ValueError, match="cannot prune all"):
+            apply_channel_counts(model, sens, {name: layer.in_channels})
+
+
+class TestSensitivities:
+    def test_ft_l1_per_input_channel(self, rng):
+        w = rng.standard_normal((5, 3, 2, 2))
+        s = channel_l1_sensitivity(w)
+        assert s.shape == (3,)
+        np.testing.assert_allclose(s[0], np.abs(w[:, 0]).sum(), rtol=1e-6)
+
+    def test_pfp_linf_bounded_by_one(self, rng):
+        w = rng.standard_normal((5, 3, 2, 2))
+        a = rng.random(3) + 0.1
+        s = channel_linf_sensitivity(w, a)
+        assert s.shape == (3,)
+        assert (s > 0).all() and (s <= 1).all()
+
+
+class TestFT:
+    def test_target_roughly_achieved(self):
+        model = make_tiny_cnn()
+        achieved = FilterThresholding().prune(model, 0.3)
+        # Channel granularity limits precision; must reach the target.
+        assert achieved >= 0.3
+        assert achieved < 0.55
+
+    def test_prunes_whole_columns(self):
+        model = make_tiny_cnn()
+        FilterThresholding().prune(model, 0.3)
+        for _, layer in structured_prunable_layers(model):
+            colsum = layer.weight_mask.sum(axis=(0, 2, 3))
+            full = layer.weight_mask[:, 0].size
+            assert set(np.unique(colsum)) <= {0.0, float(full)}
+
+    def test_uniform_allocation(self):
+        """FT prunes (roughly) the same channel fraction in every layer."""
+        model = make_tiny_cnn()
+        FilterThresholding().prune(model, 0.4)
+        fractions = [
+            pruned_channels(l).mean() for _, l in structured_prunable_layers(model)
+        ]
+        assert max(fractions) - min(fractions) < 0.35
+
+    def test_never_prunes_first_conv_or_linear(self):
+        model = make_tiny_cnn()
+        FilterThresholding().prune(model, 0.5)
+        first_conv = model[0]
+        linear = model[-1]
+        assert first_conv.num_pruned == 0
+        assert linear.num_pruned == 0
+
+    def test_unreachable_target_clamps(self):
+        model = make_tiny_cnn()
+        achieved = FilterThresholding().prune(model, 0.95)
+        assert achieved < 0.95  # structured cannot touch every weight
+        # at least one channel must survive per layer
+        for _, layer in structured_prunable_layers(model):
+            assert pruned_channels(layer).sum() < layer.in_channels
+
+    def test_monotone_iterative(self):
+        model = make_tiny_cnn()
+        ft = FilterThresholding()
+        ft.prune(model, 0.2)
+        before = {n: pruned_channels(l).copy() for n, l in structured_prunable_layers(model)}
+        ft.prune(model, 0.4)
+        for n, l in structured_prunable_layers(model):
+            assert not (before[n] & ~pruned_channels(l)).any()
+
+    def test_no_structured_layers_raises(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError, match="no structured"):
+            FilterThresholding().prune(model, 0.3)
+
+
+class TestPFP:
+    def test_requires_sample(self):
+        with pytest.raises(ValueError, match="data-informed"):
+            ProvableFilterPruning().prune(make_tiny_cnn(), 0.3)
+
+    def test_target_roughly_achieved(self, rng):
+        model = make_tiny_cnn()
+        achieved = ProvableFilterPruning().prune(model, 0.3, sample_batch(rng))
+        assert achieved >= 0.3
+        assert model_prune_ratio(model) == pytest.approx(achieved)
+
+    def test_prunes_whole_columns(self, rng):
+        model = make_tiny_cnn()
+        ProvableFilterPruning().prune(model, 0.3, sample_batch(rng))
+        for _, layer in structured_prunable_layers(model):
+            colsum = layer.weight_mask.sum(axis=(0, 2, 3))
+            full = layer.weight_mask[:, 0].size
+            assert set(np.unique(colsum)) <= {0.0, float(full)}
+
+    def test_allocation_can_be_nonuniform(self, rng):
+        """PFP allocates per-layer budgets from sensitivities, unlike FT."""
+        model = make_tiny_cnn(seed=11)
+        ProvableFilterPruning().prune(model, 0.45, sample_batch(rng))
+        fractions = [
+            pruned_channels(l).mean() for _, l in structured_prunable_layers(model)
+        ]
+        assert len(set(np.round(fractions, 3))) >= 1  # defined for all layers
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            ProvableFilterPruning(gamma=0.0)
+        with pytest.raises(ValueError):
+            ProvableFilterPruning(gamma=1.0)
+
+    def test_monotone_iterative(self, rng):
+        model = make_tiny_cnn()
+        pfp = ProvableFilterPruning()
+        pfp.prune(model, 0.2, sample_batch(rng))
+        before = {n: pruned_channels(l).copy() for n, l in structured_prunable_layers(model)}
+        pfp.prune(model, 0.5, sample_batch(rng))
+        for n, l in structured_prunable_layers(model):
+            assert not (before[n] & ~pruned_channels(l)).any()

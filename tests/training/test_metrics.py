@@ -1,0 +1,86 @@
+"""Segmentation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import (
+    confusion_matrix,
+    mean_iou,
+    per_class_iou,
+    pixel_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        t = np.array([0, 1, 2, 1])
+        conf = confusion_matrix(t, t, 3)
+        np.testing.assert_array_equal(conf, np.diag([1, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        conf = confusion_matrix(np.array([1, 1]), np.array([0, 1]), 2)
+        np.testing.assert_array_equal(conf, [[0, 1], [0, 1]])
+
+    def test_rows_are_targets(self):
+        conf = confusion_matrix(np.array([0]), np.array([2]), 3)
+        assert conf[2, 0] == 1
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4), 2)
+
+    def test_multidim_flattened(self):
+        p = np.zeros((2, 2, 2), dtype=int)
+        t = np.zeros((2, 2, 2), dtype=int)
+        assert confusion_matrix(p, t, 2)[0, 0] == 8
+
+
+class TestIoU:
+    def test_perfect_is_one(self):
+        t = np.array([0, 0, 1, 1, 2])
+        assert mean_iou(t, t, 3) == 1.0
+
+    def test_half_overlap(self):
+        targets = np.array([1, 1, 0, 0])
+        preds = np.array([1, 0, 0, 0])
+        # class 0: tp=2 fp=1 fn=0 -> 2/3; class 1: tp=1 fp=0 fn=1 -> 1/2
+        assert mean_iou(preds, targets, 2) == pytest.approx((2 / 3 + 1 / 2) / 2)
+
+    def test_absent_class_is_nan_and_excluded(self):
+        targets = np.array([0, 0])
+        preds = np.array([0, 0])
+        ious = per_class_iou(confusion_matrix(preds, targets, 3))
+        assert np.isnan(ious[1]) and np.isnan(ious[2])
+        assert mean_iou(preds, targets, 3) == 1.0
+
+    def test_all_absent_raises(self):
+        with pytest.raises(ValueError):
+            mean_iou(np.array([], dtype=int), np.array([], dtype=int), 2)
+
+    def test_iou_leq_accuracy_typical(self, rng):
+        preds = rng.integers(0, 3, 500)
+        targets = rng.integers(0, 3, 500)
+        assert mean_iou(preds, targets, 3) <= pixel_accuracy(preds, targets) + 1e-9
+
+
+class TestEvaluateModelIoU:
+    def test_segmentation_eval_reports_iou(self):
+        from repro.data import voc_like
+        from repro.models import deeplab_small
+        from repro.training import evaluate_model
+
+        suite = voc_like(seed=5, n_train=8, n_test=6, image_size=16)
+        model = deeplab_small(num_classes=suite.num_classes, base_width=4, rng=0)
+        test = suite.test_set()
+        out = evaluate_model(model, test.images, test.labels, suite.normalizer())
+        assert "iou" in out
+        assert 0 <= out["iou"] <= 1
+        assert out["iou"] <= out["accuracy"] + 1e-9
+
+    def test_classification_eval_has_no_iou(self, trained_setup):
+        from repro.training import evaluate_model
+
+        model, suite, _ = trained_setup
+        test = suite.test_set()
+        out = evaluate_model(model, test.images[:8], test.labels[:8], suite.normalizer())
+        assert "iou" not in out

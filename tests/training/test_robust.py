@@ -1,0 +1,50 @@
+"""Robust-training protocol invariants (Table 11)."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import available_corruptions
+from repro.training.robust import RobustProtocol, default_robust_protocol
+
+
+class TestDefaultProtocol:
+    def test_train_test_disjoint(self):
+        p = default_robust_protocol()
+        assert not set(p.train_corruptions) & set(p.test_corruptions)
+
+    def test_every_category_on_both_sides(self):
+        p = default_robust_protocol()
+        for category, (in_train, in_test) in p.categories_covered().items():
+            assert in_train, f"{category} missing from train distribution"
+            assert in_test, f"{category} missing from test distribution"
+
+    def test_all_names_valid(self):
+        p = default_robust_protocol()
+        names = set(available_corruptions())
+        assert set(p.train_corruptions) <= names
+        assert set(p.test_corruptions) <= names
+
+    def test_severity_threaded(self):
+        assert default_robust_protocol(severity=2).severity == 2
+
+
+class TestValidation:
+    def test_overlap_raises(self):
+        with pytest.raises(ValueError, match="overlap"):
+            RobustProtocol(("snow",), ("snow",))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            RobustProtocol(("snow",), ("blizzard",))
+
+
+class TestAugmenter:
+    def test_augmenter_uses_train_corruptions(self, rng):
+        p = RobustProtocol(("brightness",), ("fog",), severity=5)
+        aug = p.augmenter(rng=0)
+        x = rng.random((32, 3, 8, 8)).astype(np.float32) * 0.5
+        out = aug(x)
+        # brightness only ever increases pixel values where applied
+        changed = np.abs(out - x).max(axis=(1, 2, 3)) > 1e-6
+        assert changed.any()
+        assert (out[changed] >= x[changed] - 1e-6).all()

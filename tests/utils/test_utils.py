@@ -1,0 +1,99 @@
+"""Utility modules: rng discipline, serialization, table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rng
+from repro.utils.serialization import load_state, save_state
+from repro.utils.tables import format_mean_std, format_table
+
+
+class TestRng:
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_from_seed_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_as_rng_none_works(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_independent(self):
+        children = spawn_rng(as_rng(0), 3)
+        assert len(children) == 3
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rng(as_rng(1), 2)]
+        b = [g.random() for g in spawn_rng(as_rng(1), 2)]
+        assert a == b
+
+    def test_spawn_invalid(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), 0)
+
+    def test_mixin_lazy_seed(self):
+        class Thing(RngMixin):
+            _seed = 3
+
+        t = Thing()
+        first = t.rng.random()
+        t.seed(3)
+        assert t.rng.random() == first
+
+
+class TestSerialization:
+    def test_roundtrip_arrays_and_meta(self, tmp_path):
+        arrays = {"a": np.arange(5), "b/c": np.ones((2, 2), dtype=np.float32)}
+        meta = {"name": "x", "value": 3, "nested": {"k": [1, 2]}}
+        path = save_state(tmp_path / "state", arrays, meta)
+        assert path.suffix == ".npz"
+        loaded, loaded_meta = load_state(path)
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        np.testing.assert_array_equal(loaded["b/c"], arrays["b/c"])
+        assert loaded_meta == meta
+
+    def test_no_meta(self, tmp_path):
+        path = save_state(tmp_path / "s", {"x": np.zeros(1)})
+        _, meta = load_state(path)
+        assert meta == {}
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state(tmp_path / "s", {"__meta__": np.zeros(1)})
+
+    def test_load_without_suffix(self, tmp_path):
+        save_state(tmp_path / "s", {"x": np.ones(2)})
+        arrays, _ = load_state(tmp_path / "s")
+        np.testing.assert_array_equal(arrays["x"], np.ones(2))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_state(tmp_path / "deep" / "nested" / "s", {"x": np.zeros(1)})
+        assert path.exists()
+
+
+class TestTables:
+    def test_alignment_and_structure(self):
+        text = format_table(["A", "Bee"], [["x", 1.234], ["yy", 10.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| A")
+        assert "1.23" in text
+
+    def test_title(self):
+        text = format_table(["A"], [["x"]], title="T")
+        assert text.startswith("### T")
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+    def test_mean_std(self):
+        assert format_mean_std(84.92, 0.04) == "84.9 ± 0.0"
+        assert format_mean_std(1.234, 0.567, digits=2) == "1.23 ± 0.57"
