@@ -6,17 +6,23 @@ that training up front (idempotently — cached artifacts are skipped) so
 ``pytest benchmarks/ --benchmark-only`` spends its time on the paper's
 analyses rather than on SGD.
 
+The build fans out across worker processes: parents first, then prune
+runs, with per-artifact file locks so concurrent invocations are safe.
+
 Usage::
 
-    python benchmarks/build_zoo.py
+    python benchmarks/build_zoo.py [--jobs N]
+
+``--jobs 0`` means "all CPUs"; the default honours ``REPRO_NUM_WORKERS``
+and falls back to serial execution.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
 
-from repro.experiments import SMOKE, ZooSpec, get_prune_run
+from repro.experiments import SMOKE, ZooSpec, build_zoo
 
 # Every zoo artifact any benchmark touches, cheapest first.
 BENCH_ZOO: list[tuple[str, str, str, int, bool]] = [
@@ -39,20 +45,30 @@ BENCH_ZOO: list[tuple[str, str, str, int, bool]] = [
 ]
 
 
-def main() -> int:
-    start = time.time()
-    for task, model, method, reps, robust in BENCH_ZOO:
-        for rep in range(reps):
-            spec = ZooSpec(task, model, method, rep, robust)
-            t0 = time.time()
-            run = get_prune_run(spec, SMOKE)
-            print(
-                f"{spec.key(SMOKE)}: parent_err={run.parent_test_error:.3f} "
-                f"max_ratio={run.ratios.max():.2f} [{time.time() - t0:.0f}s, "
-                f"total {time.time() - start:.0f}s]",
-                flush=True,
-            )
-    print(f"zoo complete in {time.time() - start:.0f}s")
+def bench_zoo_specs() -> list[ZooSpec]:
+    """The flat spec list behind ``BENCH_ZOO``."""
+    return [
+        ZooSpec(task, model, method, rep, robust)
+        for task, model, method, reps, robust in BENCH_ZOO
+        for rep in range(reps)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="pre-train the cached model zoo")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = all CPUs; default: REPRO_NUM_WORKERS or 1)",
+    )
+    args = parser.parse_args(argv)
+
+    timing = build_zoo(bench_zoo_specs(), SMOKE, jobs=args.jobs)
+    for cell in timing.cells:
+        status = "cached" if cell.cached else "built"
+        print(f"{cell.key}: {status} in {cell.seconds:.1f}s", flush=True)
+    print(timing.summary())
     return 0
 
 

@@ -35,7 +35,10 @@ def _scale(args):
 def cmd_zoo(args) -> int:
     from benchmarks.build_zoo import main as build_zoo_main  # type: ignore
 
-    return build_zoo_main()
+    argv = []
+    if getattr(args, "jobs", None) is not None:
+        argv += ["--jobs", str(args.jobs)]
+    return build_zoo_main(argv)
 
 
 def cmd_curve(args) -> int:
@@ -91,7 +94,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("zoo", help="pre-train the cached model zoo")
+    zoo_parser = sub.add_parser("zoo", help="pre-train the cached model zoo")
+    zoo_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = all CPUs; default: REPRO_NUM_WORKERS or 1)",
+    )
     for name, fn in [("curve", cmd_curve), ("potential", cmd_potential), ("tables", cmd_tables)]:
         p = sub.add_parser(name)
         _add_common(p)

@@ -170,9 +170,22 @@ def avg_pool2d(x, kernel_size: int, stride: int | None = None) -> Tensor:
     def backward(g):
         dx = np.zeros_like(x.data)
         g_scaled = g / (k * k)
-        for i in range(k):
-            for j in range(k):
-                dx[:, :, i : i + s * oh : s, j : j + s * ow : s] += g_scaled
+        # Broadcasted scatter over all k*k in-window offsets at once: the
+        # (oh, k) row and (ow, k) column grids enumerate every input cell
+        # each output cell averaged over.
+        rows = s * np.arange(oh)[:, None] + np.arange(k)  # (oh, k)
+        cols = s * np.arange(ow)[:, None] + np.arange(k)  # (ow, k)
+        idx = (
+            slice(None),
+            slice(None),
+            rows[:, :, None, None],
+            cols[None, None, :, :],
+        )
+        vals = g_scaled[:, :, :, None, :, None]  # -> (N, C, oh, k, ow, k)
+        if s >= k:  # windows are disjoint: plain fancy assignment suffices
+            dx[idx] = vals
+        else:  # overlapping windows: indices repeat, so accumulate
+            np.add.at(dx, idx, vals)
         return (dx,)
 
     return build(out, (x,), backward)

@@ -11,12 +11,15 @@ functions in this package.
 from repro.experiments.config import FULL, SMOKE, ExperimentScale
 from repro.experiments.zoo import (
     ZooSpec,
+    build_zoo,
+    cached_suite,
     clear_cache,
     get_parent_state,
     get_prune_run,
     make_model,
     make_suite,
     make_trainer,
+    parent_specs,
 )
 from repro.experiments.prune_curves import (
     PruneCurveResult,
@@ -44,11 +47,14 @@ __all__ = [
     "SMOKE",
     "FULL",
     "ZooSpec",
+    "build_zoo",
+    "cached_suite",
     "make_suite",
     "make_model",
     "make_trainer",
     "get_parent_state",
     "get_prune_run",
+    "parent_specs",
     "clear_cache",
     "PruneCurveResult",
     "prune_curve_experiment",

@@ -1,8 +1,15 @@
 """Corruption experiments: per-corruption prune potential (Fig. 6b/6e, 7,
-Appendix D.2/D.3) and the difference in excess error (Fig. 6c/6f, D.5)."""
+Appendix D.2/D.3) and the difference in excess error (Fig. 6c/6f, D.5).
+
+The (repetition × distribution) evaluation grid is embarrassingly
+parallel, so the cells are dispatched through :mod:`repro.parallel`;
+``jobs`` (or ``REPRO_NUM_WORKERS``) controls the fan-out and ``jobs=1``
+reproduces the serial path bit for bit.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -14,7 +21,46 @@ from repro.data.corruptions import available_corruptions
 from repro.data.datasets import Dataset, TaskSuite
 from repro.experiments.config import ExperimentScale
 from repro.experiments.memo import memoize
-from repro.experiments.zoo import ZooSpec, get_prune_run, make_model, make_suite
+from repro.experiments.zoo import (
+    ZooSpec,
+    build_zoo,
+    cached_suite,
+    get_prune_run,
+    make_model,
+    make_suite,
+)
+from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
+
+# A distribution spec is a compact, picklable recipe for one evaluation
+# set: ("nominal",), ("shifted",), or ("corruption", name, severity).
+DistributionSpec = tuple
+
+
+def distribution_specs(
+    suite: TaskSuite,
+    scale: ExperimentScale,
+    corruptions: Sequence[str] | None = None,
+    include_shifted: bool = True,
+) -> list[tuple[str, DistributionSpec]]:
+    """Named evaluation distributions: nominal + shifted + corruptions."""
+    names = list(corruptions) if corruptions is not None else available_corruptions()
+    specs: list[tuple[str, DistributionSpec]] = [("nominal", ("nominal",))]
+    if include_shifted and not suite.is_segmentation:
+        specs.append(("shifted", ("shifted",)))
+    specs.extend((n, ("corruption", n, scale.severity)) for n in names)
+    return specs
+
+
+def _distribution_dataset(suite: TaskSuite, dist_spec: DistributionSpec) -> Dataset:
+    kind = dist_spec[0]
+    if kind == "nominal":
+        return suite.test_set()
+    if kind == "shifted":
+        return suite.shifted_test_set()
+    if kind == "corruption":
+        _, name, severity = dist_spec
+        return suite.corrupted_test_set(name, severity)
+    raise ValueError(f"unknown distribution spec {dist_spec!r}")
 
 
 def corruption_datasets(
@@ -23,14 +69,61 @@ def corruption_datasets(
     corruptions: Sequence[str] | None = None,
     include_shifted: bool = True,
 ) -> dict[str, Dataset]:
-    """Named evaluation distributions: nominal + shifted + corruptions."""
-    names = list(corruptions) if corruptions is not None else available_corruptions()
-    out: dict[str, Dataset] = {"nominal": suite.test_set()}
-    if include_shifted and not suite.is_segmentation:
-        out["shifted"] = suite.shifted_test_set()
-    for name in names:
-        out[name] = suite.corrupted_test_set(name, scale.severity)
-    return out
+    """Named evaluation distributions as materialized datasets."""
+    return {
+        name: _distribution_dataset(suite, spec)
+        for name, spec in distribution_specs(suite, scale, corruptions, include_shifted)
+    }
+
+
+def _curve_cell(payload) -> tuple[int, str, PruneAccuracyCurve, CellTiming]:
+    """Evaluate one (repetition, distribution) grid cell (worker-side)."""
+    task_name, model_name, method_name, scale, robust, rep, name, dist_spec = payload
+    t0 = time.perf_counter()
+    suite = cached_suite(task_name, scale)
+    dataset = _distribution_dataset(suite, dist_spec)
+    spec = ZooSpec(task_name, model_name, method_name, rep, robust)
+    run = get_prune_run(spec, scale)
+    model = make_model(spec, suite, scale)
+    curve = evaluate_curve(run, model, dataset, suite.normalizer())
+    timing = CellTiming(
+        key=f"rep{rep}/{name}", seconds=time.perf_counter() - t0
+    )
+    return rep, name, curve, timing
+
+
+def _evaluate_grid(
+    label: str,
+    task_name: str,
+    model_name: str,
+    method_name: str,
+    scale: ExperimentScale,
+    robust: bool,
+    named_specs: list[tuple[str, DistributionSpec]],
+    jobs: int | None,
+) -> tuple[dict[tuple[int, str], PruneAccuracyCurve], GridTiming]:
+    """Build required artifacts, then fan the evaluation cells out."""
+    with stopwatch() as elapsed:
+        zoo_specs = [
+            ZooSpec(task_name, model_name, method_name, rep, robust)
+            for rep in range(scale.n_repetitions)
+        ]
+        zoo_timing = build_zoo(zoo_specs, scale, jobs=jobs)
+        payloads = [
+            (task_name, model_name, method_name, scale, robust, rep, name, dist_spec)
+            for rep in range(scale.n_repetitions)
+            for name, dist_spec in named_specs
+        ]
+        cells = parallel_map(_curve_cell, payloads, jobs=jobs)
+        wall = elapsed()
+    curves = {(rep, name): curve for rep, name, curve, _ in cells}
+    timing = GridTiming(
+        label=label,
+        jobs=resolve_jobs(jobs),
+        wall_seconds=wall,
+        cells=zoo_timing.cells + [t for *_, t in cells],
+    )
+    return curves, timing
 
 
 @dataclass
@@ -43,6 +136,7 @@ class CorruptionPotentialResult:
     distributions: list[str]
     potentials: np.ndarray  # (R, D)
     curves: dict[str, list[PruneAccuracyCurve]]  # per distribution, per rep
+    timing: GridTiming | None = None
 
     @property
     def mean(self) -> np.ndarray:
@@ -56,7 +150,7 @@ class CorruptionPotentialResult:
         return self.potentials[:, self.distributions.index(distribution)]
 
 
-@memoize
+@memoize(ignore=("jobs",))
 def corruption_potential_experiment(
     task_name: str,
     model_name: str,
@@ -64,20 +158,22 @@ def corruption_potential_experiment(
     scale: ExperimentScale,
     corruptions: Sequence[str] | None = None,
     robust: bool = False,
+    *,
+    jobs: int | None = None,
 ) -> CorruptionPotentialResult:
     """Prune potential on nominal, shifted, and every corrupted test set."""
     suite = make_suite(task_name, scale)
-    normalizer = suite.normalizer()
-    datasets = corruption_datasets(suite, scale, corruptions)
-    names = list(datasets)
+    named_specs = distribution_specs(suite, scale, corruptions)
+    names = [n for n, _ in named_specs]
+    grid, timing = _evaluate_grid(
+        f"corruption_potential[{task_name}/{model_name}/{method_name}]",
+        task_name, model_name, method_name, scale, robust, named_specs, jobs,
+    )
     potentials = np.zeros((scale.n_repetitions, len(names)))
     curves: dict[str, list[PruneAccuracyCurve]] = {n: [] for n in names}
     for rep in range(scale.n_repetitions):
-        spec = ZooSpec(task_name, model_name, method_name, rep, robust)
-        run = get_prune_run(spec, scale)
-        model = make_model(spec, suite, scale)
         for di, dist_name in enumerate(names):
-            curve = evaluate_curve(run, model, datasets[dist_name], normalizer)
+            curve = grid[(rep, dist_name)]
             curves[dist_name].append(curve)
             potentials[rep, di] = curve.potential(scale.delta)
     return CorruptionPotentialResult(
@@ -87,6 +183,7 @@ def corruption_potential_experiment(
         distributions=names,
         potentials=potentials,
         curves=curves,
+        timing=timing,
     )
 
 
@@ -101,13 +198,14 @@ class SeveritySweepResult:
     corruption: str
     severities: tuple[int, ...]
     potentials: np.ndarray  # (R, S)
+    timing: GridTiming | None = None
 
     @property
     def mean(self) -> np.ndarray:
         return self.potentials.mean(axis=0)
 
 
-@memoize
+@memoize(ignore=("jobs",))
 def severity_sweep_experiment(
     task_name: str,
     model_name: str,
@@ -115,19 +213,22 @@ def severity_sweep_experiment(
     scale: ExperimentScale,
     corruption: str = "gaussian_noise",
     severities: tuple[int, ...] = (1, 2, 3, 4, 5),
+    *,
+    jobs: int | None = None,
 ) -> SeveritySweepResult:
     """Prune potential of one corruption across severity levels."""
-    suite = make_suite(task_name, scale)
-    normalizer = suite.normalizer()
+    named_specs = [
+        (f"{corruption}@{severity}", ("corruption", corruption, severity))
+        for severity in severities
+    ]
+    grid, timing = _evaluate_grid(
+        f"severity_sweep[{task_name}/{model_name}/{method_name}/{corruption}]",
+        task_name, model_name, method_name, scale, False, named_specs, jobs,
+    )
     potentials = np.zeros((scale.n_repetitions, len(severities)))
     for rep in range(scale.n_repetitions):
-        spec = ZooSpec(task_name, model_name, method_name, rep)
-        run = get_prune_run(spec, scale)
-        model = make_model(spec, suite, scale)
-        for si, severity in enumerate(severities):
-            dataset = suite.corrupted_test_set(corruption, severity)
-            curve = evaluate_curve(run, model, dataset, normalizer)
-            potentials[rep, si] = curve.potential(scale.delta)
+        for si, (name, _) in enumerate(named_specs):
+            potentials[rep, si] = grid[(rep, name)].potential(scale.delta)
     return SeveritySweepResult(
         task_name=task_name,
         model_name=model_name,
@@ -135,6 +236,7 @@ def severity_sweep_experiment(
         corruption=corruption,
         severities=tuple(severities),
         potentials=potentials,
+        timing=timing,
     )
 
 
@@ -149,6 +251,7 @@ class ExcessErrorStudyResult:
     differences: np.ndarray  # (R, K)
     slope: float
     slope_ci: tuple[float, float]
+    timing: GridTiming | None = None
 
 
 def corruption_excess_error_experiment(
@@ -158,6 +261,8 @@ def corruption_excess_error_experiment(
     scale: ExperimentScale,
     corruptions: Sequence[str] | None = None,
     robust: bool = False,
+    *,
+    jobs: int | None = None,
 ) -> ExcessErrorStudyResult:
     """``ê − e`` per prune ratio, averaged over the corruption suite.
 
@@ -167,8 +272,7 @@ def corruption_excess_error_experiment(
     """
     base = corruption_potential_experiment(
         task_name, model_name, method_name, scale,
-        corruptions=tuple(corruptions) if corruptions is not None else None,
-        robust=robust,
+        corruptions=corruptions, robust=robust, jobs=jobs,
     )
     corruption_names = [
         n for n in base.distributions if n not in ("nominal", "shifted")
@@ -200,4 +304,5 @@ def corruption_excess_error_experiment(
         differences=diffs,
         slope=slope,
         slope_ci=ci,
+        timing=base.timing,
     )

@@ -2,9 +2,15 @@
 
 Benches compose experiments (e.g. the overparameterization table reuses the
 corruption-potential curves), so top-level experiment functions are memoized
-for the lifetime of the process.  Arguments are normalized — lists become
-tuples — and must otherwise be hashable (``ExperimentScale`` is a frozen
-dataclass).
+for the lifetime of the process.  Arguments are normalized recursively —
+lists/tuples become tuples, dicts and sets become sorted tuples — so e.g. a
+``corruptions`` list and the equal tuple hit the same cache entry instead of
+silently missing.  Anything else must be hashable (``ExperimentScale`` is a
+frozen dataclass).
+
+Execution knobs that cannot change the result (``jobs``, the worker count)
+are excluded from the key via ``memoize(ignore=...)``: re-running an
+experiment with a different parallelism must hit the cache.
 """
 
 from __future__ import annotations
@@ -16,20 +22,37 @@ F = TypeVar("F", bound=Callable)
 
 
 def _normalize(value):
-    if isinstance(value, list):
-        return tuple(value)
+    """Recursively convert containers into hashable, order-canonical keys."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        # Tag the shape so {"a": 1} and (("a", 1),) cannot collide.
+        return ("__dict__", tuple(sorted(
+            ((k, _normalize(v)) for k, v in value.items()), key=repr
+        )))
+    if isinstance(value, (set, frozenset)):
+        return ("__set__", tuple(sorted((_normalize(v) for v in value), key=repr)))
     return value
 
 
-def memoize(fn: F) -> F:
-    """Cache results keyed by normalized positional + keyword arguments."""
+def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
+    """Cache results keyed by normalized positional + keyword arguments.
+
+    ``ignore`` names keyword arguments left out of the cache key (pass
+    result-neutral knobs like ``jobs`` there as keywords, not
+    positionally).
+    """
+    if fn is None:
+        return functools.partial(memoize, ignore=ignore)  # type: ignore[return-value]
     cache: dict = {}
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
         key = (
             tuple(_normalize(a) for a in args),
-            tuple(sorted((k, _normalize(v)) for k, v in kwargs.items())),
+            tuple(sorted(
+                (k, _normalize(v)) for k, v in kwargs.items() if k not in ignore
+            )),
         )
         if key not in cache:
             cache[key] = fn(*args, **kwargs)

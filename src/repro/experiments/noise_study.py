@@ -1,8 +1,14 @@
 """Noise experiments: prune potential vs noise level (Fig. 1/28) and
-functional similarity under noise (Fig. 4, Appendix C.2)."""
+functional similarity under noise (Fig. 4, Appendix C.2).
+
+The (repetition × noise level) potential grid dispatches through
+:mod:`repro.parallel`; every cell derives its own rng from (rep, level),
+so the parallel results are identical to the serial ones.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -11,7 +17,16 @@ from repro.analysis.functional_distance import noise_similarity
 from repro.analysis.prune_potential import evaluate_curve
 from repro.data.noise import add_uniform_noise
 from repro.experiments.config import ExperimentScale
-from repro.experiments.zoo import ZooSpec, get_parent_state, get_prune_run, make_model, make_suite
+from repro.experiments.zoo import (
+    ZooSpec,
+    build_zoo,
+    cached_suite,
+    get_parent_state,
+    get_prune_run,
+    make_model,
+    make_suite,
+)
+from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
 from repro.utils.rng import as_rng
 
 
@@ -24,6 +39,7 @@ class NoisePotentialResult:
     method_name: str
     noise_levels: np.ndarray  # (L,)
     potentials: np.ndarray  # (R, L)
+    timing: GridTiming | None = None
 
     @property
     def mean(self) -> np.ndarray:
@@ -34,42 +50,75 @@ class NoisePotentialResult:
         return self.potentials.std(axis=0)
 
 
+def _noise_cell(payload) -> tuple[int, int, float, CellTiming]:
+    """Evaluate one (repetition, noise level) cell (worker-side).
+
+    The noisy copy is regenerated per cell from the (rep, level) seed, so
+    the parent and every checkpoint are compared on *identical* noisy
+    inputs (noise is injected in normalized space per Section 4.1) and
+    serial/parallel execution see the same bytes.
+    """
+    from repro.data.datasets import Dataset
+
+    task_name, model_name, method_name, scale, rep, li = payload
+    t0 = time.perf_counter()
+    suite = cached_suite(task_name, scale)
+    test = suite.test_set()
+    images_norm = suite.normalizer()(test.images)
+    eps = scale.noise_levels[li]
+    rng = as_rng(scale.seed_for(rep) + 100 + li)
+    noisy = Dataset(
+        add_uniform_noise(images_norm, eps, rng),
+        test.labels,
+        name=f"{test.name}+noise{eps:.2f}",
+    )
+    spec = ZooSpec(task_name, model_name, method_name, rep)
+    run = get_prune_run(spec, scale)
+    model = make_model(spec, suite, scale)
+    curve = evaluate_curve(run, model, noisy, normalizer=None)
+    timing = CellTiming(
+        key=f"rep{rep}/noise{eps:.2f}", seconds=time.perf_counter() - t0
+    )
+    return rep, li, curve.potential(scale.delta), timing
+
+
 def noise_potential_experiment(
     task_name: str,
     model_name: str,
     method_name: str,
     scale: ExperimentScale,
+    *,
+    jobs: int | None = None,
 ) -> NoisePotentialResult:
     """Evaluate Definition 1 under ℓ∞ noise of growing magnitude."""
-    from repro.data.datasets import Dataset
-
-    suite = make_suite(task_name, scale)
-    normalizer = suite.normalizer()
-    test = suite.test_set()
-    # Pre-generate one noisy copy per (repetition, level) so the parent and
-    # every checkpoint are compared on *identical* noisy inputs; noise is
-    # injected in normalized space per Section 4.1.
-    images_norm = normalizer(test.images)
+    with stopwatch() as elapsed:
+        zoo_specs = [
+            ZooSpec(task_name, model_name, method_name, rep)
+            for rep in range(scale.n_repetitions)
+        ]
+        zoo_timing = build_zoo(zoo_specs, scale, jobs=jobs)
+        payloads = [
+            (task_name, model_name, method_name, scale, rep, li)
+            for rep in range(scale.n_repetitions)
+            for li in range(len(scale.noise_levels))
+        ]
+        cells = parallel_map(_noise_cell, payloads, jobs=jobs)
+        wall = elapsed()
     potentials = np.zeros((scale.n_repetitions, len(scale.noise_levels)))
-    for rep in range(scale.n_repetitions):
-        spec = ZooSpec(task_name, model_name, method_name, rep)
-        run = get_prune_run(spec, scale)
-        model = make_model(spec, suite, scale)
-        for li, eps in enumerate(scale.noise_levels):
-            rng = as_rng(scale.seed_for(rep) + 100 + li)
-            noisy = Dataset(
-                add_uniform_noise(images_norm, eps, rng),
-                test.labels,
-                name=f"{test.name}+noise{eps:.2f}",
-            )
-            curve = evaluate_curve(run, model, noisy, normalizer=None)
-            potentials[rep, li] = curve.potential(scale.delta)
+    for rep, li, potential, _ in cells:
+        potentials[rep, li] = potential
     return NoisePotentialResult(
         task_name=task_name,
         model_name=model_name,
         method_name=method_name,
         noise_levels=np.asarray(scale.noise_levels),
         potentials=potentials,
+        timing=GridTiming(
+            label=f"noise_potential[{task_name}/{model_name}/{method_name}]",
+            jobs=resolve_jobs(jobs),
+            wall_seconds=wall,
+            cells=zoo_timing.cells + [t for *_, t in cells],
+        ),
     )
 
 

@@ -1,7 +1,12 @@
-"""Prune-accuracy curves and PR/FR summaries (Fig. 2/9/10/11, Tables 4/6/8)."""
+"""Prune-accuracy curves and PR/FR summaries (Fig. 2/9/10/11, Tables 4/6/8).
+
+Repetitions are independent, so the per-repetition cells (curve + FLOP
+accounting) dispatch through :mod:`repro.parallel` under a ``jobs`` knob.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -9,8 +14,16 @@ import numpy as np
 from repro.analysis.prune_potential import prune_potential_from_curve
 from repro.experiments.config import ExperimentScale
 from repro.experiments.memo import memoize
-from repro.experiments.zoo import ZooSpec, get_prune_run, make_model, make_suite
+from repro.experiments.zoo import (
+    ZooSpec,
+    build_zoo,
+    cached_suite,
+    get_prune_run,
+    make_model,
+    make_suite,
+)
 from repro.nn.flops import count_flops
+from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
 from repro.pruning.pipeline import PruneRun
 
 
@@ -25,6 +38,7 @@ class PruneCurveResult:
     errors: np.ndarray  # (R, K) nominal test error per repetition/checkpoint
     parent_errors: np.ndarray  # (R,)
     flop_reductions: np.ndarray  # (R, K)
+    timing: GridTiming | None = None
 
     @property
     def error_mean(self) -> np.ndarray:
@@ -43,7 +57,7 @@ class PruneCurveResult:
 def _flop_reductions(
     run: PruneRun, spec: ZooSpec, scale: ExperimentScale
 ) -> np.ndarray:
-    suite = make_suite(spec.task_name, scale)
+    suite = cached_suite(spec.task_name, scale)
     model = make_model(spec, suite, scale)
     model.load_state_dict(run.parent_state)
     base = count_flops(model, suite.input_shape)
@@ -54,23 +68,47 @@ def _flop_reductions(
     return np.array(out)
 
 
-@memoize
+def _rep_cell(payload):
+    """Load one repetition's run and account its FLOPs (worker-side)."""
+    task_name, model_name, method_name, scale, robust, rep = payload
+    t0 = time.perf_counter()
+    spec = ZooSpec(task_name, model_name, method_name, rep, robust)
+    run = get_prune_run(spec, scale)
+    frs = _flop_reductions(run, spec, scale)
+    timing = CellTiming(key=f"rep{rep}", seconds=time.perf_counter() - t0)
+    return run.ratios, run.test_errors, run.parent_test_error, frs, timing
+
+
+@memoize(ignore=("jobs",))
 def prune_curve_experiment(
     task_name: str,
     model_name: str,
     method_name: str,
     scale: ExperimentScale,
     robust: bool = False,
+    *,
+    jobs: int | None = None,
 ) -> PruneCurveResult:
     """Build (or load) all repetitions and collect the nominal curve."""
-    ratios, errors, parents, frs = [], [], [], []
-    for rep in range(scale.n_repetitions):
-        spec = ZooSpec(task_name, model_name, method_name, rep, robust)
-        run = get_prune_run(spec, scale)
-        ratios.append(run.ratios)
-        errors.append(run.test_errors)
-        parents.append(run.parent_test_error)
-        frs.append(_flop_reductions(run, spec, scale))
+    with stopwatch() as elapsed:
+        zoo_specs = [
+            ZooSpec(task_name, model_name, method_name, rep, robust)
+            for rep in range(scale.n_repetitions)
+        ]
+        zoo_timing = build_zoo(zoo_specs, scale, jobs=jobs)
+        cells = parallel_map(
+            _rep_cell,
+            [
+                (task_name, model_name, method_name, scale, robust, rep)
+                for rep in range(scale.n_repetitions)
+            ],
+            jobs=jobs,
+        )
+        wall = elapsed()
+    ratios = [c[0] for c in cells]
+    errors = [c[1] for c in cells]
+    parents = [c[2] for c in cells]
+    frs = [c[3] for c in cells]
     return PruneCurveResult(
         task_name=task_name,
         model_name=model_name,
@@ -79,6 +117,12 @@ def prune_curve_experiment(
         errors=np.array(errors),
         parent_errors=np.array(parents),
         flop_reductions=np.array(frs),
+        timing=GridTiming(
+            label=f"prune_curve[{task_name}/{model_name}/{method_name}]",
+            jobs=resolve_jobs(jobs),
+            wall_seconds=wall,
+            cells=zoo_timing.cells + [c[4] for c in cells],
+        ),
     )
 
 

@@ -49,12 +49,15 @@ def robust_potential_experiment(
     method_name: str,
     scale: ExperimentScale,
     protocol: RobustProtocol | None = None,
+    *,
+    jobs: int | None = None,
 ) -> RobustPotentialResult:
     """Per-corruption potential of robustly (re-)trained networks."""
     protocol = protocol or default_robust_protocol(scale.severity)
     corruptions = [*protocol.train_corruptions, *protocol.test_corruptions]
     base = corruption_potential_experiment(
-        task_name, model_name, method_name, scale, corruptions=corruptions, robust=True
+        task_name, model_name, method_name, scale,
+        corruptions=corruptions, robust=True, jobs=jobs,
     )
     return RobustPotentialResult(base=base, protocol=protocol)
 
@@ -65,6 +68,8 @@ def robust_excess_error_experiment(
     method_name: str,
     scale: ExperimentScale,
     protocol: RobustProtocol | None = None,
+    *,
+    jobs: int | None = None,
 ) -> ExcessErrorStudyResult:
     """``ê − e`` of robustly trained networks over the held-out corruptions."""
     protocol = protocol or default_robust_protocol(scale.severity)
@@ -75,4 +80,5 @@ def robust_excess_error_experiment(
         scale,
         corruptions=list(protocol.test_corruptions),
         robust=True,
+        jobs=jobs,
     )

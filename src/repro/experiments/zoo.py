@@ -8,13 +8,24 @@ artifact kinds under ``REPRO_CACHE_DIR`` (default ``./.cache/repro``):
   shared across all pruning methods, as in the paper where each network is
   trained once before pruning;
 - prune runs, additionally keyed by method.
+
+The cache is safe under concurrent builders: artifacts are published
+atomically (see :mod:`repro.utils.serialization`), every train-on-miss is
+guarded by a per-artifact file lock with a double-checked reload, and a
+corrupt archive is treated as a cache miss (unlinked and recomputed)
+rather than a permanent failure.  :func:`build_zoo` fans a spec list out
+across worker processes, parents first so prune runs never race their own
+dependency.
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -23,10 +34,18 @@ from repro.experiments.config import ExperimentScale
 from repro.models import build_model
 from repro.nn.module import Module
 from repro.optim import MultiStepLR
+from repro.parallel import (
+    CellTiming,
+    GridTiming,
+    artifact_lock,
+    parallel_map,
+    resolve_jobs,
+    stopwatch,
+)
 from repro.pruning import PruneRetrain, PruneRun, build_method
 from repro.training import TrainConfig, Trainer, default_robust_protocol
 from repro.utils.rng import as_rng
-from repro.utils.serialization import load_state, save_state
+from repro.utils.serialization import save_state, try_load_state
 
 
 def cache_dir() -> Path:
@@ -34,11 +53,12 @@ def cache_dir() -> Path:
 
 
 def clear_cache() -> None:
-    """Delete all cached zoo artifacts."""
+    """Delete all cached zoo artifacts (and their lock files)."""
     root = cache_dir()
     if root.exists():
-        for path in root.glob("*.npz"):
-            path.unlink()
+        for pattern in ("*.npz", "*.lock"):
+            for path in root.glob(pattern):
+                path.unlink()
 
 
 @dataclass(frozen=True)
@@ -88,6 +108,17 @@ def make_suite(task_name: str, scale: ExperimentScale) -> TaskSuite:
     raise ValueError(f"unknown task {task_name!r}; choose cifar, imagenet, or voc")
 
 
+@functools.lru_cache(maxsize=8)
+def cached_suite(task_name: str, scale: ExperimentScale) -> TaskSuite:
+    """Per-process cache of :func:`make_suite`.
+
+    Suites are deterministic in (task, scale), so grid cells dispatched to
+    worker processes share one suite per process instead of regenerating
+    the synthetic data per cell.
+    """
+    return make_suite(task_name, scale)
+
+
 def make_model(spec: ZooSpec, suite: TaskSuite, scale: ExperimentScale) -> Module:
     """Freshly initialized model for ``spec`` (deterministic per repetition)."""
     seed = scale.seed_for(spec.repetition)
@@ -130,32 +161,68 @@ def make_trainer(
     return Trainer(model, suite, config, augment_fn=augment_fn)
 
 
-def get_parent_state(spec: ZooSpec, scale: ExperimentScale) -> dict[str, np.ndarray]:
-    """Trained parent weights (cached)."""
-    parent_spec = ZooSpec(
-        spec.task_name, spec.model_name, None, spec.repetition, spec.robust
-    )
-    path = cache_dir() / f"{parent_spec.key(scale)}.npz"
-    if path.exists():
-        arrays, _ = load_state(path)
-        return arrays
-    suite = make_suite(spec.task_name, scale)
+def artifact_path(spec: ZooSpec, scale: ExperimentScale) -> Path:
+    """Cache location of one zoo artifact."""
+    return cache_dir() / f"{spec.key(scale)}.npz"
+
+
+def _load_cached_state(path: Path) -> dict[str, np.ndarray] | None:
+    """Cached arrays, or ``None``; a corrupt archive is unlinked (miss)."""
+    loaded = try_load_state(path)
+    if loaded is not None:
+        return loaded[0]
+    path.unlink(missing_ok=True)
+    return None
+
+
+def _load_cached_run(path: Path) -> PruneRun | None:
+    """Cached :class:`PruneRun`, or ``None``; corrupt archives are unlinked.
+
+    Corruption can also live in the metadata (e.g. truncated JSON), so the
+    full reconstruction is attempted, not just the array load.
+    """
+    if not path.exists():
+        return None
+    try:
+        return PruneRun.load(path)
+    except Exception:
+        path.unlink(missing_ok=True)
+        return None
+
+
+def _train_parent(parent_spec: ZooSpec, scale: ExperimentScale) -> dict[str, np.ndarray]:
+    suite = make_suite(parent_spec.task_name, scale)
     model = make_model(parent_spec, suite, scale)
     trainer = make_trainer(model, suite, scale, parent_spec)
     trainer.train()
-    state = model.state_dict()
-    save_state(path, state, {"spec": parent_spec.key(scale)})
+    return model.state_dict()
+
+
+def get_parent_state(spec: ZooSpec, scale: ExperimentScale) -> dict[str, np.ndarray]:
+    """Trained parent weights (cached, concurrency-safe).
+
+    The fast path reads the cache without locking; on a miss the artifact
+    lock is taken and the cache re-checked (another process may have
+    finished training while we waited), so racing builders produce exactly
+    one training run.
+    """
+    parent_spec = ZooSpec(
+        spec.task_name, spec.model_name, None, spec.repetition, spec.robust
+    )
+    path = artifact_path(parent_spec, scale)
+    state = _load_cached_state(path)
+    if state is not None:
+        return state
+    with artifact_lock(path):
+        state = _load_cached_state(path)
+        if state is not None:
+            return state
+        state = _train_parent(parent_spec, scale)
+        save_state(path, state, {"spec": parent_spec.key(scale)})
     return state
 
 
-def get_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
-    """A complete PRUNERETRAIN run (cached); requires ``method_name``."""
-    if spec.method_name is None:
-        raise ValueError("get_prune_run needs a method_name")
-    path = cache_dir() / f"{spec.key(scale)}.npz"
-    if path.exists():
-        return PruneRun.load(path)
-
+def _train_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
     suite = make_suite(spec.task_name, scale)
     model = make_model(spec, suite, scale)
     model.load_state_dict(get_parent_state(spec, scale))
@@ -175,5 +242,88 @@ def get_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
             "robust": spec.robust,
         }
     )
-    run.save(path)
     return run
+
+
+def get_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
+    """A complete PRUNERETRAIN run (cached, concurrency-safe); requires
+    ``method_name``.  Same fast-path / lock / re-check discipline as
+    :func:`get_parent_state`."""
+    if spec.method_name is None:
+        raise ValueError("get_prune_run needs a method_name")
+    path = artifact_path(spec, scale)
+    run = _load_cached_run(path)
+    if run is not None:
+        return run
+    with artifact_lock(path):
+        run = _load_cached_run(path)
+        if run is not None:
+            return run
+        run = _train_prune_run(spec, scale)
+        run.save(path)
+    return run
+
+
+# ----------------------------------------------------------- zoo building
+
+
+def _build_cell(payload: tuple[ZooSpec, ExperimentScale]) -> CellTiming:
+    """Materialize one artifact (worker-side); must stay module-level."""
+    spec, scale = payload
+    path = artifact_path(spec, scale)
+    cached = path.exists()
+    t0 = time.perf_counter()
+    if spec.method_name is None:
+        get_parent_state(spec, scale)
+    else:
+        get_prune_run(spec, scale)
+    return CellTiming(
+        key=spec.key(scale), seconds=time.perf_counter() - t0, cached=cached
+    )
+
+
+def parent_specs(specs: Iterable[ZooSpec]) -> list[ZooSpec]:
+    """Unique parent specs underlying ``specs`` (order-preserving)."""
+    out: dict[ZooSpec, None] = {}
+    for spec in specs:
+        parent = ZooSpec(
+            spec.task_name, spec.model_name, None, spec.repetition, spec.robust
+        )
+        out.setdefault(parent, None)
+    return list(out)
+
+
+def build_zoo(
+    specs: Sequence[ZooSpec],
+    scale: ExperimentScale,
+    jobs: int | None = None,
+    start_method: str | None = None,
+) -> GridTiming:
+    """Materialize every artifact in ``specs`` across ``jobs`` processes.
+
+    Dependency-aware fan-out: all (deduplicated) parent states are built
+    first, then the prune runs — so parallel prune workers always find
+    their parent in the cache instead of serializing on its lock.
+    Idempotent; cached artifacts are cheap cache probes.  Returns the
+    per-artifact and end-to-end wall-clock record.
+    """
+    specs = list(specs)
+    with stopwatch() as elapsed:
+        parents = parent_specs(specs)
+        cells = parallel_map(
+            _build_cell,
+            [(s, scale) for s in parents],
+            jobs=jobs,
+            start_method=start_method,
+        )
+        prune = [s for s in specs if s.method_name is not None]
+        cells += parallel_map(
+            _build_cell,
+            [(s, scale) for s in prune],
+            jobs=jobs,
+            start_method=start_method,
+        )
+        wall = elapsed()
+    return GridTiming(
+        label="build_zoo", jobs=resolve_jobs(jobs), wall_seconds=wall, cells=cells
+    )

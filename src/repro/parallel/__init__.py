@@ -1,0 +1,48 @@
+"""Process-parallel execution engine.
+
+The reproduction's dominant costs — training the model zoo and walking
+(repetition × distribution) evaluation grids — are embarrassingly
+parallel.  This package provides the three layers every dispatch site
+composes:
+
+- :mod:`repro.parallel.pool` — a spawn-safe worker pool
+  (:func:`parallel_map`, ``REPRO_NUM_WORKERS`` / ``--jobs`` resolution,
+  traceback-preserving error propagation, bit-identical serial fallback);
+- :mod:`repro.parallel.locks` — per-artifact file locks and atomic
+  write-temp-then-replace publication so concurrent workers never train
+  the same artifact twice nor observe half-written archives;
+- :mod:`repro.parallel.timing` — per-cell and per-grid wall-clock
+  records surfaced in results and benchmarks.
+"""
+
+from repro.parallel.locks import FileLock, LockTimeout, artifact_lock, atomic_write
+from repro.parallel.pool import (
+    JOBS_ENV,
+    START_METHOD_ENV,
+    WorkerError,
+    WorkerPool,
+    default_chunksize,
+    parallel_map,
+    resolve_jobs,
+    resolve_start_method,
+)
+from repro.parallel.timing import CellTiming, GridTiming, grid_timing, stopwatch
+
+__all__ = [
+    "FileLock",
+    "LockTimeout",
+    "artifact_lock",
+    "atomic_write",
+    "JOBS_ENV",
+    "START_METHOD_ENV",
+    "WorkerError",
+    "WorkerPool",
+    "default_chunksize",
+    "parallel_map",
+    "resolve_jobs",
+    "resolve_start_method",
+    "CellTiming",
+    "GridTiming",
+    "grid_timing",
+    "stopwatch",
+]

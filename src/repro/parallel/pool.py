@@ -1,0 +1,188 @@
+"""Spawn-safe multiprocessing worker pool for embarrassingly parallel grids.
+
+Zoo building and experiment grids are (task, model, method, repetition) ×
+(distribution) products of independent cells, so the execution engine is a
+thin, predictable layer over ``multiprocessing``:
+
+- :func:`parallel_map` — ordered or unordered map with chunking and clean
+  error propagation (remote tracebacks travel back verbatim);
+- :func:`resolve_jobs` — worker-count resolution from an explicit value,
+  the ``REPRO_NUM_WORKERS`` environment variable, or a serial default;
+- ``jobs=1`` never touches ``multiprocessing`` at all: the map runs in
+  the calling process, so serial results are bit-identical to the
+  pre-parallel code path and debuggers/profilers see one process.
+
+Worker callables must be picklable (module-level functions), which keeps
+every dispatch site spawn-start-method safe; the start method defaults to
+``fork`` where available (cheap on Linux) and can be forced via the
+``REPRO_MP_START`` environment variable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+JOBS_ENV = "REPRO_NUM_WORKERS"
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a worker process.
+
+    Carries the remote traceback text so the failure is debuggable from
+    the parent; the original exception type/message lead the string form.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.remote_traceback:
+            return f"{base}\n--- remote traceback ---\n{self.remote_traceback}"
+        return base
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_NUM_WORKERS`` > 1.
+
+    ``0`` (or any non-positive value) means "all CPUs".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def resolve_start_method(start_method: str | None = None) -> str:
+    """Explicit arg > ``REPRO_MP_START`` > ``fork`` if available > default."""
+    method = start_method or os.environ.get(START_METHOD_ENV, "").strip() or None
+    available = multiprocessing.get_all_start_methods()
+    if method is None:
+        method = "fork" if "fork" in available else multiprocessing.get_start_method()
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} unavailable here (have {available})"
+        )
+    return method
+
+
+def default_chunksize(n_items: int, jobs: int) -> int:
+    """~4 chunks per worker: small enough to balance, big enough to amortize."""
+    return max(1, -(-n_items // (jobs * 4)))
+
+
+def _chunked(items: Sequence[T], chunksize: int) -> list[tuple[int, Sequence[T]]]:
+    """Split ``items`` into (start_index, chunk) pairs."""
+    return [
+        (start, items[start : start + chunksize])
+        for start in range(0, len(items), chunksize)
+    ]
+
+
+def _run_chunk(payload):
+    """Worker-side chunk runner; must stay module-level (picklable)."""
+    start, fn, chunk = payload
+    try:
+        return ("ok", start, [fn(item) for item in chunk])
+    except BaseException as exc:  # noqa: BLE001 - repackaged for the parent
+        return ("err", start, (type(exc).__name__, str(exc), traceback.format_exc()))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    chunksize: int | None = None,
+    ordered: bool = True,
+    start_method: str | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` across ``jobs`` worker processes.
+
+    ``ordered=True`` returns results positionally; ``ordered=False``
+    returns them in completion order (useful for progress reporting).
+    At ``jobs=1`` the map runs serially in-process and exceptions
+    propagate unwrapped; in parallel mode a worker failure raises
+    :class:`WorkerError` with the remote traceback attached.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    jobs = min(jobs, len(items))
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), jobs)
+    payloads = [(start, fn, chunk) for start, chunk in _chunked(items, chunksize)]
+
+    ctx = multiprocessing.get_context(resolve_start_method(start_method))
+    slots: list[list[R] | None] = [None] * len(payloads)
+    completion_order: list[list[R]] = []
+    with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+        for status, start, result in pool.imap_unordered(_run_chunk, payloads):
+            if status == "err":
+                exc_type, message, remote_tb = result
+                raise WorkerError(
+                    f"worker failed with {exc_type}: {message}", remote_tb
+                )
+            if ordered:
+                slots[start // chunksize] = result
+            else:
+                completion_order.append(result)
+    if ordered:
+        return [r for chunk in slots for r in chunk]  # type: ignore[union-attr]
+    return [r for chunk in completion_order for r in chunk]
+
+
+class WorkerPool:
+    """A reusable handle bundling (jobs, chunksize, start method).
+
+    Thin sugar over :func:`parallel_map` for call sites that dispatch
+    several grids with one configuration.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        chunksize: int | None = None,
+        start_method: str | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.chunksize = chunksize
+        self.start_method = start_method
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return parallel_map(
+            fn,
+            items,
+            jobs=self.jobs,
+            chunksize=self.chunksize,
+            start_method=self.start_method,
+        )
+
+    def map_unordered(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return parallel_map(
+            fn,
+            items,
+            jobs=self.jobs,
+            chunksize=self.chunksize,
+            ordered=False,
+            start_method=self.start_method,
+        )

@@ -1,0 +1,70 @@
+"""Wall-clock accounting for parallel grids.
+
+Every parallelized surface (zoo builds, experiment grids) records one
+:class:`CellTiming` per unit of work and wraps them in a
+:class:`GridTiming` carrying the grid's end-to-end wall clock, so the
+perf trajectory of the execution engine is measured, not guessed:
+``cell_seconds / wall_seconds`` estimates the achieved parallel speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall clock of one unit of work (one artifact, one eval cell)."""
+
+    key: str
+    seconds: float
+    cached: bool = False  # satisfied from cache rather than computed
+
+
+@dataclass
+class GridTiming:
+    """Wall clock of one dispatched grid and its constituent cells."""
+
+    label: str
+    jobs: int
+    wall_seconds: float
+    cells: list[CellTiming] = field(default_factory=list)
+
+    @property
+    def cell_seconds(self) -> float:
+        """Total compute inside cells (≥ wall_seconds when parallel)."""
+        return float(sum(c.seconds for c in self.cells))
+
+    @property
+    def throughput(self) -> float:
+        """Completed cells per wall-clock second."""
+        return len(self.cells) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Achieved parallel speedup estimate (cell time / wall time)."""
+        return self.cell_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: {len(self.cells)} cells in {self.wall_seconds:.2f}s "
+            f"(jobs={self.jobs}, {self.throughput:.2f} cells/s, "
+            f"speedup≈{self.speedup:.2f}x)"
+        )
+
+
+@contextmanager
+def stopwatch() -> Iterator[Callable[[], float]]:
+    """Yield a callable returning the elapsed seconds since entry."""
+    t0 = time.perf_counter()
+    yield lambda: time.perf_counter() - t0
+
+
+def grid_timing(
+    label: str, jobs: int, wall_seconds: float, cells: list[CellTiming]
+) -> GridTiming:
+    """Convenience constructor mirroring the dispatch-site call shape."""
+    return GridTiming(label=label, jobs=jobs, wall_seconds=wall_seconds, cells=cells)

@@ -45,10 +45,12 @@ class TrainConfig:
 
 
 def _accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
-    """Classification (N, K) or dense segmentation (N, K, H, W) accuracy."""
-    if logits.ndim == 4:
-        pred = logits.argmax(axis=1)
-        return float((pred == labels).mean())
+    """Classification (N, K) or dense segmentation (N, K, H, W) accuracy.
+
+    The class axis is 1 in both layouts, so one argmax covers both: it
+    yields (N,) predictions against (N,) labels, or (N, H, W) against
+    (N, H, W) per-pixel labels.
+    """
     return float((logits.argmax(axis=1) == labels).mean())
 
 

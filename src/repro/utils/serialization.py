@@ -12,6 +12,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.parallel.locks import atomic_write
+
 _META_KEY = "__meta__"
 
 
@@ -22,19 +24,26 @@ def save_state(
 ) -> Path:
     """Save ``arrays`` (and optional JSON-serializable ``meta``) to ``path``.
 
-    Returns the resolved path with a ``.npz`` suffix.
+    The write is atomic: the archive is staged to a temporary file in the
+    destination directory and promoted with ``os.replace``, so a crash
+    mid-write never corrupts an existing artifact and concurrent readers
+    only ever see complete archives.  Returns the resolved path with a
+    ``.npz`` suffix.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {k: np.asarray(v) for k, v in arrays.items()}
     if _META_KEY in payload:
         raise ValueError(f"array key {_META_KEY!r} is reserved")
     payload[_META_KEY] = np.frombuffer(
         json.dumps(dict(meta or {})).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, **payload)
+    with atomic_write(path) as tmp:
+        # Write through a file handle: savez would append ".npz" to the
+        # temp name and break the atomic-replace pairing.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
     return path
 
 
@@ -49,3 +58,23 @@ def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]
         if _META_KEY in archive.files:
             meta = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
     return arrays, meta
+
+
+def try_load_state(
+    path: str | Path,
+) -> tuple[dict[str, np.ndarray], dict[str, Any]] | None:
+    """Like :func:`load_state`, but ``None`` if missing/unreadable/corrupt.
+
+    Cache layers treat a truncated or garbage archive (e.g. from a write
+    interrupted before atomic saves existed, or a torn copy) as a miss
+    rather than a permanent failure.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    if not path.exists():
+        return None
+    try:
+        return load_state(path)
+    except Exception:
+        return None

@@ -168,3 +168,69 @@ class TestMemoize:
         fn.cache_clear()
         fn()
         assert len(calls) == 2
+
+    def test_nested_lists_normalized(self):
+        """Nested containers must hash to the same key as their tuple form."""
+        calls = []
+
+        @memoize
+        def fn(groups):
+            calls.append(1)
+            return sum(x for g in groups for x in g)
+
+        assert fn([[1, 2], [3]]) == 6
+        assert fn(([1, 2], (3,))) == 6
+        assert fn((((1, 2)), [3])) == 6
+        assert len(calls) == 1
+
+    def test_dict_args_normalized(self):
+        calls = []
+
+        @memoize
+        def fn(config):
+            calls.append(1)
+            return len(config)
+
+        assert fn({"a": [1, 2], "b": {"c": 3}}) == 2
+        assert fn({"b": {"c": 3}, "a": (1, 2)}) == 2  # key order irrelevant
+        assert len(calls) == 1
+        assert fn({"a": [1, 2], "b": {"c": 4}}) == 2  # nested value differs
+        assert len(calls) == 2
+
+    def test_set_args_normalized(self):
+        calls = []
+
+        @memoize
+        def fn(names):
+            calls.append(1)
+            return len(names)
+
+        assert fn({"x", "y"}) == 2
+        assert fn(frozenset(("y", "x"))) == 2
+        assert len(calls) == 1
+
+    def test_dict_and_items_tuple_do_not_collide(self):
+        calls = []
+
+        @memoize
+        def fn(value):
+            calls.append(1)
+            return 0
+
+        fn({"a": 1})
+        fn((("a", 1),))
+        assert len(calls) == 2
+
+    def test_ignore_excludes_kwarg_from_key(self):
+        calls = []
+
+        @memoize(ignore=("jobs",))
+        def fn(a, jobs=None):
+            calls.append(jobs)
+            return a
+
+        assert fn(1, jobs=1) == 1
+        assert fn(1, jobs=4) == 1  # cache hit despite different jobs
+        assert calls == [1]
+        assert fn(2, jobs=4) == 2
+        assert len(calls) == 2

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.pruning",
     "repro.analysis",
     "repro.experiments",
+    "repro.parallel",
     "repro.utils",
 ]
 
