@@ -11,7 +11,9 @@ The library is a pure-NumPy stack:
 - :mod:`repro.pruning` — WT / SiPP / FT / PFP and PRUNERETRAIN (Alg. 1);
 - :mod:`repro.analysis` — functional distance, BackSelect, prune potential
   (Def. 1), excess error (Def. 2), overparameterization summaries;
-- :mod:`repro.experiments` — one harness entry per paper table/figure.
+- :mod:`repro.experiments` — one harness entry per paper table/figure;
+- :mod:`repro.verify` — invariant checkers, differential oracles, and the
+  ``REPRO_VERIFY=1`` runtime hooks guarding all of the above.
 
 Quickstart::
 
@@ -29,7 +31,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import analysis, autograd, data, models, nn, optim, pruning, training, utils
+from repro import analysis, autograd, data, models, nn, optim, pruning, training, utils, verify
 
 __all__ = [
     "analysis",
@@ -41,5 +43,6 @@ __all__ = [
     "pruning",
     "training",
     "utils",
+    "verify",
     "__version__",
 ]

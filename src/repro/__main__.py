@@ -6,6 +6,7 @@ Commands
 ``curve``      run one prune-retrain pipeline and print its curve
 ``potential``  prune potential per distribution for one (model, method)
 ``tables``     print the PR/FR and overparameterization tables
+``verify``     audit cached artifacts (mask/weight consistency, accounting)
 """
 
 from __future__ import annotations
@@ -90,6 +91,23 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.experiments.zoo import cache_dir
+    from repro.verify import audit_path
+
+    target = args.path if args.path is not None else str(cache_dir())
+    report = audit_path(target, deep=args.deep)
+    if args.json is not None:
+        from pathlib import Path
+
+        Path(args.json).write_text(report.to_json())
+    if args.verbose:
+        for result in report.results:
+            print(result)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -105,6 +123,28 @@ def main(argv: list[str] | None = None) -> int:
         p = sub.add_parser(name)
         _add_common(p)
         p.set_defaults(fn=fn)
+
+    verify_parser = sub.add_parser(
+        "verify", help="audit cached artifacts or a zoo directory"
+    )
+    verify_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="artifact (.npz) or zoo directory (default: the cache dir)",
+    )
+    verify_parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run save/load round-trip oracles per artifact",
+    )
+    verify_parser.add_argument(
+        "--json", default=None, help="write the full report to this JSON file"
+    )
+    verify_parser.add_argument(
+        "--verbose", action="store_true", help="print every check, not just failures"
+    )
+    verify_parser.set_defaults(fn=cmd_verify)
     parser.set_defaults(fn=cmd_zoo)
 
     args = parser.parse_args(argv)

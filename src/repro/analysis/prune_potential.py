@@ -18,6 +18,7 @@ from repro.data.datasets import Dataset, Normalizer
 from repro.nn.module import Module
 from repro.pruning.pipeline import PruneRun
 from repro.training.trainer import evaluate_model
+from repro.verify import runtime as verify_runtime
 
 DEFAULT_DELTA = 0.005
 
@@ -78,12 +79,14 @@ def evaluate_curve(
 
     parent_error = error_of(run.parent_state)
     errors = np.array([error_of(c.state) for c in run.checkpoints])
-    return PruneAccuracyCurve(
+    curve = PruneAccuracyCurve(
         distribution=dataset.name,
         ratios=run.ratios,
         errors=errors,
         parent_error=parent_error,
     )
+    verify_runtime.verify_curve(curve)
+    return curve
 
 
 def prune_potential(

@@ -3,6 +3,15 @@
 Used by the test suite to verify every analytic gradient in
 :mod:`repro.autograd.ops` and :mod:`repro.autograd.functional` against
 central differences in float64.
+
+The numeric side is vectorized: instead of two forward passes per scalar,
+the ± eps perturbations are stacked along a new leading axis and evaluated
+in chunks, one ``fn`` call per chunk.  That only works for functions that
+broadcast over (and never mix) the extra axis — elementwise ops, matmul —
+so the batched result is spot-checked against the scalar path and the
+whole computation falls back to the per-scalar loop on any shape mismatch,
+exception, or spot-check disagreement.  Either way evaluation runs under
+``no_grad()``: finite differences never need the backward graph.
 """
 
 from __future__ import annotations
@@ -11,7 +20,68 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
+
+
+def _scalar_eval(fn: Callable[..., Tensor], inputs: Sequence[Tensor]) -> float:
+    return float(fn(*inputs).data.sum())
+
+
+def _loop_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float,
+    indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reference path: one ± evaluation pair per scalar (optionally a subset)."""
+    target = inputs[wrt]
+    grad = np.zeros(target.data.size, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    index_iter = range(flat.size) if indices is None else indices
+    for i in index_iter:
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = _scalar_eval(fn, inputs)
+        flat[i] = orig - eps
+        minus = _scalar_eval(fn, inputs)
+        flat[i] = orig
+        grad[i] = (plus - minus) / (2 * eps)
+    return grad.reshape(target.data.shape) if indices is None else grad
+
+
+def _batched_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float,
+    chunk: int,
+) -> np.ndarray | None:
+    """Chunked fast path; ``None`` when ``fn`` cannot be batched this way."""
+    target = inputs[wrt]
+    base = target.data
+    n = base.size
+    base_out_shape = fn(*inputs).data.shape
+    grad = np.empty(n, dtype=np.float64)
+    for start in range(0, n, chunk):
+        idx = np.arange(start, min(start + chunk, n))
+        b = idx.size
+        tiled = np.repeat(base[None].astype(np.float64, copy=False), 2 * b, axis=0)
+        flat = tiled.reshape(2 * b, n)
+        flat[np.arange(b), idx] += eps
+        flat[np.arange(b, 2 * b), idx] -= eps
+        perturbed = [
+            Tensor(tiled) if i == wrt else t for i, t in enumerate(inputs)
+        ]
+        try:
+            out = fn(*perturbed).data
+        except Exception:
+            return None
+        if out.shape != (2 * b, *base_out_shape):
+            return None
+        sums = out.reshape(2 * b, -1).sum(axis=1, dtype=np.float64)
+        grad[idx] = (sums[:b] - sums[b:]) / (2 * eps)
+    return grad.reshape(base.shape)
 
 
 def numerical_gradient(
@@ -19,20 +89,26 @@ def numerical_gradient(
     inputs: Sequence[Tensor],
     wrt: int,
     eps: float = 1e-5,
+    chunk: int = 128,
 ) -> np.ndarray:
-    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Tries the batched path first and validates it by recomputing a couple
+    of entries through the scalar loop — a function that silently mixes
+    values across the perturbation axis (e.g. indexing into it) produces a
+    disagreement there and is recomputed entirely by the loop.
+    """
     target = inputs[wrt]
-    grad = np.zeros_like(target.data, dtype=np.float64)
-    flat = target.data.reshape(-1)
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
-        plus = float(fn(*inputs).data.sum())
-        flat[i] = orig - eps
-        minus = float(fn(*inputs).data.sum())
-        flat[i] = orig
-        grad.reshape(-1)[i] = (plus - minus) / (2 * eps)
-    return grad
+    with no_grad():
+        batched = _batched_gradient(fn, inputs, wrt, eps, chunk)
+        if batched is not None:
+            probe = np.unique([0, target.data.size - 1])
+            reference = _loop_gradient(fn, inputs, wrt, eps, indices=probe)
+            flat = batched.reshape(-1)
+            scale = max(np.abs(reference).max(), np.abs(flat[probe]).max(), 1.0)
+            if np.allclose(flat[probe], reference[probe], atol=1e-6 * scale):
+                return batched
+        return _loop_gradient(fn, inputs, wrt, eps)
 
 
 def gradcheck(
@@ -44,8 +120,10 @@ def gradcheck(
 ) -> bool:
     """Check analytic vs numeric gradients for every grad-requiring input.
 
-    Inputs should be float64 for reliable finite differences.  Raises
-    ``AssertionError`` with a diagnostic message on mismatch.
+    Inputs should be float64 for reliable finite differences.  ``fn`` need
+    not reduce to a scalar: the output is summed (backward seeds with
+    ones), and un-reduced outputs let the numeric side use its vectorized
+    path.  Raises ``AssertionError`` with a diagnostic message on mismatch.
     """
     for t in inputs:
         t.zero_grad()

@@ -35,8 +35,24 @@ def _normalize(value):
     return value
 
 
+def cache_key(args: tuple, kwargs: dict, ignore: tuple[str, ...] = ()) -> tuple:
+    """The memoization key for one call: normalized args + sorted kwargs.
+
+    Exposed separately from :func:`memoize` so the key can be inspected and
+    regression-tested: it must be a pure function of the call's values —
+    stable across processes and sessions — or process-parallel experiment
+    grids would silently recompute (or worse, collide on) cells.
+    """
+    return (
+        tuple(_normalize(a) for a in args),
+        tuple(sorted(
+            (k, _normalize(v)) for k, v in kwargs.items() if k not in ignore
+        )),
+    )
+
+
 def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
-    """Cache results keyed by normalized positional + keyword arguments.
+    """Cache results keyed by :func:`cache_key` over the call's arguments.
 
     ``ignore`` names keyword arguments left out of the cache key (pass
     result-neutral knobs like ``jobs`` there as keywords, not
@@ -48,12 +64,7 @@ def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
-        key = (
-            tuple(_normalize(a) for a in args),
-            tuple(sorted(
-                (k, _normalize(v)) for k, v in kwargs.items() if k not in ignore
-            )),
-        )
+        key = cache_key(args, kwargs, ignore)
         if key not in cache:
             cache[key] = fn(*args, **kwargs)
         return cache[key]

@@ -25,6 +25,7 @@ from repro.experiments.zoo import (
 from repro.nn.flops import count_flops
 from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
 from repro.pruning.pipeline import PruneRun
+from repro.verify import runtime as verify_runtime
 
 
 @dataclass
@@ -109,7 +110,7 @@ def prune_curve_experiment(
     errors = [c[1] for c in cells]
     parents = [c[2] for c in cells]
     frs = [c[3] for c in cells]
-    return PruneCurveResult(
+    result = PruneCurveResult(
         task_name=task_name,
         model_name=model_name,
         method_name=method_name,
@@ -124,6 +125,8 @@ def prune_curve_experiment(
             cells=zoo_timing.cells + [c[4] for c in cells],
         ),
     )
+    verify_runtime.verify_curve_result(result)
+    return result
 
 
 @dataclass

@@ -46,6 +46,7 @@ from repro.pruning import PruneRetrain, PruneRun, build_method
 from repro.training import TrainConfig, Trainer, default_robust_protocol
 from repro.utils.rng import as_rng
 from repro.utils.serialization import save_state, try_load_state
+from repro.verify import runtime as verify_runtime
 
 
 def cache_dir() -> Path:
@@ -254,10 +255,12 @@ def get_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
     path = artifact_path(spec, scale)
     run = _load_cached_run(path)
     if run is not None:
+        verify_runtime.verify_loaded_run(run, path.name)
         return run
     with artifact_lock(path):
         run = _load_cached_run(path)
         if run is not None:
+            verify_runtime.verify_loaded_run(run, path.name)
             return run
         run = _train_prune_run(spec, scale)
         run.save(path)

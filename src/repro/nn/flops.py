@@ -20,8 +20,14 @@ from repro.nn.module import Module
 from repro.nn.norm import _BatchNorm
 
 
-def count_flops(model: Module, input_shape: tuple[int, ...]) -> int:
-    """Total forward FLOPs for one batch element of ``input_shape`` (C, H, W) or (F,)."""
+def count_flops(
+    model: Module, input_shape: tuple[int, ...], dense: bool = False
+) -> int:
+    """Total forward FLOPs for one batch element of ``input_shape`` (C, H, W) or (F,).
+
+    ``dense=True`` ignores prune masks and reports the unpruned cost, so
+    FR can be accounted without cloning the model and resetting its masks.
+    """
     was_training = model.training
     model.eval()
     dummy = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
@@ -35,12 +41,12 @@ def count_flops(model: Module, input_shape: tuple[int, ...]) -> int:
             if module.last_output_hw is None:
                 raise RuntimeError("conv layer was not reached by the trace forward")
             oh, ow = module.last_output_hw
-            nnz = int(module.weight_mask.sum())
+            nnz = module.weight.size if dense else int(module.weight_mask.sum())
             total += 2 * nnz * oh * ow
             if module.bias is not None:
                 total += module.out_channels * oh * ow
         elif isinstance(module, Linear):
-            nnz = int(module.weight_mask.sum())
+            nnz = module.weight.size if dense else int(module.weight_mask.sum())
             total += 2 * nnz
             if module.bias is not None:
                 total += module.out_features
@@ -49,6 +55,31 @@ def count_flops(model: Module, input_shape: tuple[int, ...]) -> int:
             # for 2-D BN without tracing, so approximate with feature count.
             total += 2 * module.num_features
     return total
+
+
+def pruned_flops_by_layer(
+    model: Module, input_shape: tuple[int, ...]
+) -> dict[str, int]:
+    """FLOPs removed by each layer's mask (independent of :func:`count_flops`).
+
+    Cross-checks FR accounting: the sum of these per-layer reductions must
+    equal ``count_flops(dense=True) - count_flops()``.
+    """
+    was_training = model.training
+    model.eval()
+    dummy = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
+    with no_grad():
+        model(dummy)
+    model.train(was_training)
+
+    removed: dict[str, int] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, Conv2d):
+            oh, ow = module.last_output_hw
+            removed[name] = 2 * module.num_pruned * oh * ow
+        elif isinstance(module, Linear):
+            removed[name] = 2 * module.num_pruned
+    return removed
 
 
 def flop_reduction(

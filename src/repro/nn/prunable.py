@@ -52,6 +52,16 @@ class PrunableWeightMixin:
     def num_pruned(self) -> int:
         return int((self.weight_mask == 0).sum())
 
+    def mask_violations(self) -> int:
+        """Number of weights that disagree with their mask (``w != w * mask``).
+
+        Zero on any healthy layer: :meth:`set_weight_mask` zeroes pruned
+        weights in place, and the masked gradient keeps them at zero during
+        retraining.  A nonzero count means the artifact was corrupted (or
+        the weights were mutated behind the mask's back).
+        """
+        return int((self.weight.data != self.weight.data * self.weight_mask).sum())
+
     @property
     def prune_ratio(self) -> float:
         return self.num_pruned / self.weight_mask.size

@@ -197,6 +197,10 @@ class PruneRetrain:
         train_parent: bool = False,
     ) -> PruneRun:
         """Execute the full iterative prune–retrain schedule."""
+        # Lazy: verify.invariants walks pruning.mask, so a module-level
+        # import here would be circular.
+        from repro.verify import runtime as verify_runtime
+
         ratios = sorted(target_ratios)
         if ratios and (ratios[0] <= 0 or ratios[-1] >= 1):
             raise ValueError(f"target ratios must lie in (0, 1), got {target_ratios}")
@@ -213,12 +217,21 @@ class PruneRetrain:
             parent_test_error=parent_error,
             meta={"target_ratios": list(ratios)},
         )
-        for target in ratios:
+        for step, target in enumerate(ratios):
             sample = self._sample_inputs() if self.method.data_informed else None
             achieved = self.method.prune(model, target, sample)
+            verify_runtime.verify_prune_step(
+                model,
+                achieved,
+                target,
+                self.method.name,
+                self.method.structured,
+                step,
+            )
             if self.retrain_mode == "weight_rewind":
                 self._rewind_weights(model, run.parent_state)
             self._retrain()
+            verify_runtime.verify_retrained(model, self.method.name, step)
             error = self.trainer.evaluate()["error"]
             run.checkpoints.append(
                 PruneCheckpoint(
@@ -228,4 +241,5 @@ class PruneRetrain:
                     state=model.state_dict(),
                 )
             )
+        verify_runtime.verify_run_curve(run)
         return run

@@ -1,0 +1,70 @@
+"""Invariant checking and differential oracles for the prune–retrain stack.
+
+Both pruning-survey papers (Blalock et al., 2020; Wang et al., 2023) find
+that silent setup and accounting bugs — not modeling choices — are the
+dominant source of irreproducible pruning results.  This package machine-
+checks the bookkeeping instead of trusting it:
+
+- :mod:`repro.verify.invariants` — facts every healthy model/artifact/curve
+  obeys (``w == w * mask``, sparsity and FLOP accounting, structured shape
+  propagation, curve monotonicity);
+- :mod:`repro.verify.oracles` — the same answer computed two ways must
+  agree (masked vs baked forward, save/load round-trips, fixed-seed
+  determinism, ``jobs=1`` ≡ ``jobs=N``);
+- :mod:`repro.verify.artifacts` — architecture-free audits of cached zoo
+  artifacts, behind ``python -m repro verify <path>``;
+- :mod:`repro.verify.runtime` — opt-in ``REPRO_VERIFY=1`` hooks that fail
+  fast inside ``PruneRetrain`` / ``evaluate_curve`` / zoo cache hits.
+"""
+
+from repro.verify.artifacts import audit_artifact, audit_path, find_artifacts
+from repro.verify.invariants import (
+    check_curve_sanity,
+    check_flop_accounting,
+    check_mask_weight_consistency,
+    check_potential_sanity,
+    check_prune_accounting,
+    check_state_consistency,
+    check_structured_masks,
+    check_structured_shape_propagation,
+    mask_pairs,
+)
+from repro.verify.oracles import (
+    oracle_jobs_equivalence,
+    oracle_masked_forward,
+    oracle_retrain_determinism,
+    oracle_save_load_roundtrip,
+    state_mismatches,
+)
+from repro.verify.report import (
+    CheckResult,
+    VerificationError,
+    VerificationReport,
+    merge_reports,
+)
+from repro.verify.runtime import verify_enabled
+
+__all__ = [
+    "CheckResult",
+    "VerificationError",
+    "VerificationReport",
+    "merge_reports",
+    "audit_artifact",
+    "audit_path",
+    "find_artifacts",
+    "check_curve_sanity",
+    "check_flop_accounting",
+    "check_mask_weight_consistency",
+    "check_potential_sanity",
+    "check_prune_accounting",
+    "check_state_consistency",
+    "check_structured_masks",
+    "check_structured_shape_propagation",
+    "mask_pairs",
+    "oracle_jobs_equivalence",
+    "oracle_masked_forward",
+    "oracle_retrain_determinism",
+    "oracle_save_load_roundtrip",
+    "state_mismatches",
+    "verify_enabled",
+]

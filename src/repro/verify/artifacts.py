@@ -1,0 +1,127 @@
+"""Audit cached zoo artifacts without knowing their architecture.
+
+Both artifact kinds the zoo caches (parent states and PRUNERETRAIN runs)
+are plain ``.npz`` archives of arrays + JSON metadata, so everything here
+works from the raw state dicts: mask/weight consistency, recorded
+prune-ratio accounting, curve sanity, and (``deep=True``) a save/load
+round-trip through fresh temporary storage.  ``python -m repro verify``
+is a thin CLI over :func:`audit_path`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.serialization import try_load_state
+from repro.verify.invariants import (
+    check_curve_sanity,
+    check_state_consistency,
+    mask_pairs,
+)
+from repro.verify.oracles import oracle_save_load_roundtrip
+from repro.verify.report import VerificationReport, merge_reports
+
+
+def find_artifacts(root: str | Path) -> list[Path]:
+    """All ``.npz`` artifacts under ``root`` (or ``root`` itself if a file)."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    return sorted(root.glob("*.npz"))
+
+
+def _split_prefixes(arrays: dict[str, np.ndarray]) -> dict[str, dict[str, np.ndarray]]:
+    """Group ``prefix/key`` arrays by prefix (``parent``, ``ckpt0``, ...)."""
+    groups: dict[str, dict[str, np.ndarray]] = {}
+    for key, value in arrays.items():
+        prefix, _, rest = key.partition("/")
+        groups.setdefault(prefix, {})[rest] = value
+    return groups
+
+
+def audit_artifact(path: str | Path, deep: bool = False) -> VerificationReport:
+    """Verify one cached artifact; never raises, reports instead."""
+    path = Path(path)
+    report = VerificationReport(subject=path.name)
+    loaded = try_load_state(path)
+    report.add(
+        "readable",
+        loaded is not None,
+        detail="" if loaded is not None else "missing, truncated, or corrupt archive",
+    )
+    if loaded is None:
+        return report
+    arrays, meta = loaded
+
+    if "checkpoints" in meta:
+        _audit_prune_run(arrays, meta, report)
+    else:
+        _audit_parent(arrays, report)
+    if deep:
+        oracle_save_load_roundtrip(arrays, meta, report=report)
+    return report
+
+
+def _audit_parent(arrays: dict[str, np.ndarray], report: VerificationReport) -> None:
+    check_state_consistency(arrays, report=report)
+    # A parent is the dense network Algorithm 1 starts from: nothing pruned.
+    pruned = sum(int((mask == 0).sum()) for _, _, mask in mask_pairs(arrays))
+    report.add(
+        "parent_is_dense",
+        pruned == 0,
+        detail=f"parent state has {pruned} masked weights" if pruned else "",
+        context={"pruned": pruned},
+    )
+
+
+def _audit_prune_run(
+    arrays: dict[str, np.ndarray], meta: dict, report: VerificationReport
+) -> None:
+    groups = _split_prefixes(arrays)
+    infos = meta["checkpoints"]
+    expected = {"parent", *(f"ckpt{i}" for i in range(len(infos)))}
+    report.add(
+        "checkpoint_states_complete",
+        set(groups) == expected,
+        detail=f"state groups {sorted(groups)} != expected {sorted(expected)}"
+        if set(groups) != expected
+        else "",
+    )
+    if "parent" in groups:
+        _audit_parent(groups["parent"], report)
+    for i, info in enumerate(infos):
+        state = groups.get(f"ckpt{i}")
+        if state is None:
+            continue
+        ckpt_report = check_state_consistency(
+            state, reported_ratio=info.get("achieved_ratio")
+        )
+        for result in ckpt_report.results:
+            result.name = f"ckpt{i}.{result.name}"
+        report.results.extend(ckpt_report.results)
+    check_curve_sanity(
+        [info["achieved_ratio"] for info in infos],
+        [info["test_error"] for info in infos],
+        meta.get("parent_test_error", 0.0),
+        report=report,
+    )
+    targets = [info["target_ratio"] for info in infos]
+    report.add(
+        "target_ratios_sorted",
+        targets == sorted(targets),
+        context={"targets": targets},
+    )
+
+
+def audit_path(path: str | Path, deep: bool = False) -> VerificationReport:
+    """Audit one artifact or every artifact in a zoo directory."""
+    artifacts = find_artifacts(path)
+    if not artifacts:
+        report = VerificationReport(subject=str(path))
+        report.add("artifacts_found", False, detail=f"no .npz artifacts under {path}")
+        return report
+    return merge_reports(
+        str(path), (audit_artifact(p, deep=deep) for p in artifacts)
+    )

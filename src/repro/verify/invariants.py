@@ -1,0 +1,470 @@
+"""Invariant checkers: machine-checkable facts every healthy artifact obeys.
+
+Three families, by what they need access to:
+
+- **model invariants** need a live :class:`~repro.nn.module.Module` —
+  mask/weight consistency, sparsity and FLOP accounting, structured-prune
+  shape propagation;
+- **state invariants** need only a raw state dict, so they run against any
+  cached ``.npz`` artifact without knowing its architecture;
+- **curve invariants** need only the numbers of a prune-accuracy curve —
+  range and monotonicity sanity for ratios, errors, and prune potential.
+
+Each checker appends to (and returns) a :class:`VerificationReport`; none
+raises directly, so audits can keep going past the first failure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.nn.conv import Conv2d
+from repro.nn.flops import count_flops, pruned_flops_by_layer
+from repro.nn.module import Module
+from repro.pruning.mask import (
+    model_prune_ratio,
+    prunable_layers,
+    pruned_weights,
+    structured_prunable_layers,
+    total_prunable_weights,
+)
+from repro.verify.report import VerificationReport
+
+RATIO_ATOL = 1e-6
+
+
+def _report(report: VerificationReport | None, subject: str) -> VerificationReport:
+    return report if report is not None else VerificationReport(subject=subject)
+
+
+# ------------------------------------------------------------------ model
+
+
+def check_mask_weight_consistency(
+    model: Module, report: VerificationReport | None = None
+) -> VerificationReport:
+    """Every prunable layer: binary mask, mask shaped like weight, ``w == w * mask``."""
+    report = _report(report, "model")
+    for name, layer in prunable_layers(model):
+        mask = layer.weight_mask
+        report.add(
+            f"mask_shape[{name}]",
+            mask.shape == layer.weight.shape,
+            context={"mask_shape": mask.shape, "weight_shape": layer.weight.shape},
+        )
+        report.add(
+            f"mask_binary[{name}]",
+            bool(np.isin(mask, (0.0, 1.0)).all()),
+            context={"unique": np.unique(mask)[:8]},
+        )
+        violations = layer.mask_violations()
+        report.add(
+            f"mask_weight_consistency[{name}]",
+            violations == 0,
+            detail=f"{violations} weights disagree with mask" if violations else "",
+            context={"violations": violations},
+        )
+    return report
+
+
+def check_prune_accounting(
+    model: Module,
+    reported_ratio: float | None = None,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Sparsity bookkeeping: per-layer counts sum to the model ratio,
+    which matches the ratio reported by the pruning method."""
+    report = _report(report, "model")
+    total = total_prunable_weights(model)
+    pruned = pruned_weights(model)
+    per_layer = sum(layer.num_pruned for _, layer in prunable_layers(model))
+    report.add(
+        "pruned_count_additivity",
+        per_layer == pruned,
+        context={"per_layer_sum": per_layer, "pruned_weights": pruned},
+    )
+    ratio = model_prune_ratio(model)
+    report.add(
+        "prune_ratio_range",
+        0.0 <= ratio <= 1.0,
+        context={"ratio": ratio},
+    )
+    report.add(
+        "prune_ratio_accounting",
+        abs(ratio - pruned / total) <= RATIO_ATOL,
+        context={"ratio": ratio, "recomputed": pruned / total},
+    )
+    if reported_ratio is not None:
+        report.add(
+            "reported_ratio_matches",
+            abs(ratio - reported_ratio) <= RATIO_ATOL,
+            detail=f"model ratio {ratio:.6f} vs reported {reported_ratio:.6f}",
+            context={"model_ratio": ratio, "reported": reported_ratio},
+        )
+    return report
+
+
+def check_flop_accounting(
+    model: Module,
+    input_shape: tuple[int, ...],
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """FLOP counts agree between the mask-aware trace and dense-minus-pruned."""
+    report = _report(report, "model")
+    pruned_cost = count_flops(model, input_shape)
+    dense_cost = count_flops(model, input_shape, dense=True)
+    removed = sum(pruned_flops_by_layer(model, input_shape).values())
+    report.add(
+        "flops_positive",
+        pruned_cost > 0 and dense_cost > 0,
+        context={"pruned": pruned_cost, "dense": dense_cost},
+    )
+    report.add(
+        "flops_dense_minus_pruned",
+        dense_cost - pruned_cost == removed,
+        detail=(
+            f"dense {dense_cost} - pruned {pruned_cost} != removed {removed}"
+            if dense_cost - pruned_cost != removed
+            else ""
+        ),
+        context={"dense": dense_cost, "pruned": pruned_cost, "removed": removed},
+    )
+    fr = 1.0 - pruned_cost / dense_cost if dense_cost else float("nan")
+    report.add("flop_reduction_range", 0.0 <= fr <= 1.0, context={"fr": fr})
+    return report
+
+
+def check_structured_masks(
+    model: Module, report: VerificationReport | None = None
+) -> VerificationReport:
+    """Structured layers: masks are unions of whole input-channel columns
+    and at least one channel survives per layer."""
+    report = _report(report, "model")
+    for name, layer in structured_prunable_layers(model):
+        mask = layer.weight_mask
+        per_channel = mask.sum(axis=(0, 2, 3))
+        column = layer.out_channels * layer.kernel_size * layer.kernel_size
+        aligned = bool(np.isin(per_channel, (0, column)).all())
+        report.add(
+            f"channel_aligned_mask[{name}]",
+            aligned,
+            detail="" if aligned else "mask prunes partial input channels",
+            context={"per_channel_nnz": per_channel},
+        )
+        alive = int((per_channel > 0).sum())
+        report.add(
+            f"channels_alive[{name}]",
+            alive >= 1,
+            detail="" if alive else "all input channels pruned",
+            context={"alive": alive, "in_channels": layer.in_channels},
+        )
+    return report
+
+
+def _linear_chains(model: Module) -> list[list[tuple[str, Module]]]:
+    """Flat forward chains of (name, module) from nested ``Sequential``s.
+
+    Shape-propagation checks need to know which layer feeds which; that is
+    only well-defined for purely sequential graphs, so branching modules
+    (residual blocks) simply contribute no chain.
+    """
+    from repro.nn.container import Sequential
+
+    chains: list[list[tuple[str, Module]]] = []
+
+    def walk(module: Module, prefix: str) -> None:
+        if isinstance(module, Sequential):
+            chain: list[tuple[str, Module]] = []
+            for name, child in module._modules.items():
+                full = f"{prefix}.{name}" if prefix else name
+                if isinstance(child, Sequential):
+                    if chain:
+                        chains.append(chain)
+                        chain = []
+                    walk(child, full)
+                else:
+                    chain.append((full, child))
+            if chain:
+                chains.append(chain)
+        else:
+            for name, child in module._modules.items():
+                walk(child, f"{prefix}.{name}" if prefix else name)
+
+    walk(model, "")
+    return chains
+
+
+def check_structured_shape_propagation(
+    model: Module,
+    probe: np.ndarray,
+    report: VerificationReport | None = None,
+    atol: float = 1e-6,
+) -> VerificationReport:
+    """Pruned input channels are genuinely dead upstream.
+
+    For every Conv→(BN/activation/pool)→Conv chain, a fully masked input
+    channel ``j`` of the downstream conv means the producing conv's filter
+    ``j`` (and its BN statistics) can be physically removed; zeroing them
+    must leave the model's output on ``probe`` bit-for-bit unchanged.  This
+    is the shape-propagation contract a structured method must maintain to
+    realize its FLOP savings as actual smaller layers.
+    """
+    from repro.autograd.tensor import Tensor, no_grad
+    from repro.nn.activation import ReLU, Sigmoid, Tanh
+    from repro.nn.layers import Dropout, Identity
+    from repro.nn.norm import _BatchNorm
+    from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d, UpsampleNearest2d
+
+    # Between producer and consumer, only modules that keep the channel
+    # axis intact (one output channel per input channel) are allowed —
+    # anything else and "filter j feeds channel j" no longer holds.
+    channel_preserving = (
+        _BatchNorm,
+        ReLU,
+        Tanh,
+        Sigmoid,
+        Dropout,
+        Identity,
+        MaxPool2d,
+        AvgPool2d,
+        GlobalAvgPool2d,
+        UpsampleNearest2d,
+    )
+
+    report = _report(report, "model")
+    structured = dict(structured_prunable_layers(model))
+    chains = [c for c in _linear_chains(model) if c]
+    if not chains:
+        report.add(
+            "structured_shape_propagation",
+            True,
+            detail="skipped: model has no purely sequential chain",
+        )
+        return report
+
+    was_training = model.training
+    model.eval()
+    state = model.state_dict()
+    try:
+        with no_grad():
+            baseline = model(Tensor(probe)).data.copy()
+        checked = 0
+        for chain in chains:
+            for i, (name, module) in enumerate(chain):
+                if name not in structured:
+                    continue
+                dead = np.flatnonzero(
+                    module.weight_mask.sum(axis=(0, 2, 3)) == 0
+                )
+                if dead.size == 0:
+                    continue
+                # Nearest preceding conv in the chain produces our input;
+                # every module in between must preserve the channel axis.
+                producer = None
+                producer_idx = None
+                for j in range(i - 1, -1, -1):
+                    candidate = chain[j][1]
+                    if isinstance(candidate, Conv2d):
+                        producer = candidate
+                        producer_idx = j
+                        break
+                    if not isinstance(candidate, channel_preserving):
+                        break
+                if producer is None or producer.out_channels != module.in_channels:
+                    continue
+                producer.weight.data[dead] = 0.0
+                if producer.bias is not None:
+                    producer.bias.data[dead] = 0.0
+                for _, mid in chain[producer_idx + 1 : i]:
+                    if isinstance(mid, _BatchNorm):
+                        if mid.num_features != module.in_channels:
+                            continue
+                        mid.weight.data[dead] = 0.0
+                        mid.bias.data[dead] = 0.0
+                        mid.set_buffer(
+                            "running_mean",
+                            np.where(
+                                np.isin(np.arange(mid.num_features), dead),
+                                0.0,
+                                mid.running_mean,
+                            ).astype(mid.running_mean.dtype),
+                        )
+                with no_grad():
+                    zeroed = model(Tensor(probe)).data
+                drift = float(np.abs(zeroed - baseline).max())
+                report.add(
+                    f"structured_shape_propagation[{name}]",
+                    drift <= atol,
+                    detail=(
+                        f"zeroing {dead.size} dead producer filters moved the "
+                        f"output by {drift:.3e}"
+                        if drift > atol
+                        else ""
+                    ),
+                    context={"dead_channels": dead.size, "drift": drift},
+                )
+                checked += 1
+                model.load_state_dict(state)
+        if checked == 0:
+            report.add(
+                "structured_shape_propagation",
+                True,
+                detail="skipped: no pruned channels on sequential chains",
+            )
+    finally:
+        model.load_state_dict(state)
+        model.train(was_training)
+    return report
+
+
+# ------------------------------------------------------------------ state
+
+
+def mask_pairs(state: Mapping[str, np.ndarray]) -> list[tuple[str, np.ndarray, np.ndarray]]:
+    """(prefix, weight, mask) triples found in a raw state dict."""
+    pairs = []
+    for key in sorted(state):
+        if key.endswith(".weight_mask") or key == "weight_mask":
+            prefix = key[: -len("weight_mask")].rstrip(".")
+            weight_key = f"{prefix}.weight" if prefix else "weight"
+            if weight_key in state:
+                pairs.append((prefix or "<root>", state[weight_key], state[key]))
+    return pairs
+
+
+def check_state_consistency(
+    state: Mapping[str, np.ndarray],
+    reported_ratio: float | None = None,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Architecture-free invariants on a raw state dict.
+
+    Works on any cached artifact: pairs each ``*.weight`` with its
+    ``*.weight_mask`` sibling, checks binariness, shape, ``w == w * mask``,
+    and (when the artifact recorded one) the achieved prune ratio.
+    """
+    report = _report(report, "state")
+    pairs = mask_pairs(state)
+    report.add(
+        "has_prunable_state",
+        bool(pairs),
+        detail="" if pairs else "state dict has no (weight, weight_mask) pairs",
+        context={"n_layers": len(pairs)},
+    )
+    total = 0
+    pruned = 0
+    for prefix, weight, mask in pairs:
+        report.add(
+            f"mask_shape[{prefix}]",
+            mask.shape == weight.shape,
+            context={"mask_shape": mask.shape, "weight_shape": weight.shape},
+        )
+        report.add(
+            f"mask_binary[{prefix}]",
+            bool(np.isin(mask, (0.0, 1.0)).all()),
+        )
+        violations = int((weight != weight * mask).sum())
+        report.add(
+            f"mask_weight_consistency[{prefix}]",
+            violations == 0,
+            detail=f"{violations} weights disagree with mask" if violations else "",
+            context={"violations": violations},
+        )
+        total += mask.size
+        pruned += int((mask == 0).sum())
+    for key, value in state.items():
+        report.add(
+            f"finite[{key}]",
+            bool(np.isfinite(value).all()) if np.issubdtype(
+                np.asarray(value).dtype, np.floating
+            ) else True,
+        )
+    if reported_ratio is not None and total:
+        ratio = pruned / total
+        report.add(
+            "reported_ratio_matches",
+            abs(ratio - reported_ratio) <= RATIO_ATOL,
+            detail=f"state ratio {ratio:.6f} vs reported {reported_ratio:.6f}",
+            context={"state_ratio": ratio, "reported": reported_ratio},
+        )
+    return report
+
+
+# ------------------------------------------------------------------ curves
+
+
+def check_curve_sanity(
+    ratios: Sequence[float],
+    errors: Sequence[float],
+    parent_error: float,
+    report: VerificationReport | None = None,
+    label: str = "curve",
+) -> VerificationReport:
+    """Range/monotonicity sanity for one prune-accuracy curve.
+
+    Achieved ratios must be finite, inside [0, 1), and non-decreasing
+    (Algorithm 1 prunes cumulatively, so a later checkpoint can never be
+    less pruned); all errors are rates in [0, 1].
+    """
+    report = _report(report, label)
+    ratios = np.asarray(ratios, dtype=float)
+    errors = np.asarray(errors, dtype=float)
+    report.add(
+        f"{label}_shapes_match",
+        ratios.shape == errors.shape,
+        context={"ratios": ratios.shape, "errors": errors.shape},
+    )
+    report.add(f"{label}_finite", bool(np.isfinite(ratios).all() and np.isfinite(errors).all()))
+    report.add(
+        f"{label}_ratio_range",
+        bool(((ratios >= 0) & (ratios < 1)).all()),
+        context={"min": ratios.min(initial=0.0), "max": ratios.max(initial=0.0)},
+    )
+    report.add(
+        f"{label}_ratios_monotone",
+        bool((np.diff(ratios) >= -RATIO_ATOL).all()),
+        detail="achieved prune ratios decreased between checkpoints"
+        if not (np.diff(ratios) >= -RATIO_ATOL).all()
+        else "",
+        context={"ratios": ratios},
+    )
+    report.add(
+        f"{label}_error_range",
+        bool(((errors >= 0) & (errors <= 1)).all()),
+        context={"errors": errors},
+    )
+    report.add(
+        f"{label}_parent_error_range",
+        bool(0.0 <= parent_error <= 1.0) and bool(np.isfinite(parent_error)),
+        context={"parent_error": parent_error},
+    )
+    return report
+
+
+def check_potential_sanity(
+    potential: float,
+    ratios: Sequence[float],
+    report: VerificationReport | None = None,
+    label: str = "potential",
+) -> VerificationReport:
+    """Prune potential is a ratio: in [0, 1) and never above the best
+    achieved ratio of the curve it was derived from (Definition 1)."""
+    report = _report(report, label)
+    ratios = np.asarray(ratios, dtype=float)
+    report.add(
+        f"{label}_range",
+        bool(0.0 <= potential < 1.0),
+        context={"potential": potential},
+    )
+    max_ratio = float(ratios.max(initial=0.0))
+    report.add(
+        f"{label}_bounded_by_curve",
+        potential <= max_ratio + RATIO_ATOL,
+        detail=f"potential {potential:.4f} exceeds max achieved ratio {max_ratio:.4f}"
+        if potential > max_ratio + RATIO_ATOL
+        else "",
+        context={"potential": potential, "max_ratio": max_ratio},
+    )
+    return report

@@ -1,0 +1,204 @@
+"""Differential oracles: two routes to the same answer must agree.
+
+Unlike the invariants (facts about one object), each oracle computes a
+quantity twice through independent code paths and compares:
+
+- masked forward ≡ forward of a model with the masks baked into the
+  weights (the mask buffer is bookkeeping, not semantics);
+- save → load round-trips are bit-exact (the cache returns what was put in);
+- a fixed-seed (re)train is deterministic (repetitions differ because of
+  seeds, never because of hidden state);
+- ``jobs=1`` and ``jobs=N`` zoo builds produce identical artifacts (the
+  parallel engine is an execution detail, not part of the experiment).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+from repro.verify.invariants import mask_pairs
+from repro.verify.report import VerificationReport
+
+
+def state_mismatches(
+    a: Mapping[str, np.ndarray], b: Mapping[str, np.ndarray]
+) -> list[str]:
+    """Keys on which two state dicts differ (missing, shape, or value)."""
+    bad = sorted(set(a) ^ set(b))
+    for key in sorted(set(a) & set(b)):
+        left, right = np.asarray(a[key]), np.asarray(b[key])
+        if left.shape != right.shape or not np.array_equal(left, right):
+            bad.append(key)
+    return bad
+
+
+def _forward(model: Module, inputs: np.ndarray) -> np.ndarray:
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            return model(Tensor(inputs)).data.copy()
+    finally:
+        model.train(was_training)
+
+
+def oracle_masked_forward(
+    model: Module,
+    inputs: np.ndarray,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Pruned-model forward ≡ dense forward with masks baked into weights.
+
+    The baked model has every weight pre-multiplied by its mask and the
+    mask reset to all-ones, so its forward never touches a mask buffer.
+    Both paths multiply by 0.0/1.0 floats, so agreement is exact.
+    """
+    report = report if report is not None else VerificationReport(subject="model")
+    masked_out = _forward(model, inputs)
+    state = model.state_dict()
+    baked = dict(state)
+    for prefix, weight, mask in mask_pairs(state):
+        weight_key = f"{prefix}.weight" if prefix != "<root>" else "weight"
+        baked[weight_key] = weight * mask
+        baked[f"{weight_key}_mask"] = np.ones_like(mask)
+    try:
+        model.load_state_dict(baked)
+        baked_out = _forward(model, inputs)
+    finally:
+        model.load_state_dict(state)
+    equal = np.array_equal(masked_out, baked_out)
+    drift = 0.0 if equal else float(np.abs(masked_out - baked_out).max())
+    report.add(
+        "masked_forward_equivalence",
+        equal,
+        detail="" if equal else f"masked vs baked forward differ by {drift:.3e}",
+        context={"max_abs_diff": drift},
+    )
+    return report
+
+
+def oracle_save_load_roundtrip(
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any] | None = None,
+    path: str | Path | None = None,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """``save_state`` → ``load_state`` returns exactly what went in."""
+    from repro.utils.serialization import load_state, save_state
+
+    report = report if report is not None else VerificationReport(subject="state")
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(path) if path is not None else Path(tmp) / "roundtrip.npz"
+        save_state(target, arrays, meta)
+        loaded, loaded_meta = load_state(target)
+    bad = state_mismatches(arrays, loaded)
+    report.add(
+        "save_load_array_roundtrip",
+        not bad,
+        detail=f"arrays changed across roundtrip: {bad[:5]}" if bad else "",
+        context={"mismatched_keys": bad},
+    )
+    if meta is not None:
+        report.add(
+            "save_load_meta_roundtrip",
+            loaded_meta == dict(meta),
+            context={"meta": loaded_meta},
+        )
+    return report
+
+
+def oracle_retrain_determinism(
+    trainer_factory: Callable[[], Any],
+    epochs: int | None = None,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Two trainings from identical (model, config, seed) end bit-identical.
+
+    ``trainer_factory`` must build a *fresh* trainer each call — same
+    initial weights, same ``TrainConfig`` seed.  Divergence means hidden
+    state leaks into training (unseeded RNG, accumulation-order change),
+    which would silently break repetition error bars and cache reuse.
+    """
+    report = report if report is not None else VerificationReport(subject="trainer")
+    states = []
+    for _ in range(2):
+        trainer = trainer_factory()
+        trainer.train(epochs)
+        states.append(trainer.model.state_dict())
+    bad = state_mismatches(states[0], states[1])
+    report.add(
+        "fixed_seed_retrain_determinism",
+        not bad,
+        detail=f"weights diverged on keys {bad[:5]}" if bad else "",
+        context={"mismatched_keys": bad},
+    )
+    return report
+
+
+@contextmanager
+def _cache_dir_override(path: Path):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old
+
+
+def oracle_jobs_equivalence(
+    specs: Sequence[Any],
+    scale: Any,
+    jobs: int = 2,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """``build_zoo(jobs=1)`` and ``build_zoo(jobs=N)`` make identical artifacts.
+
+    Builds the same spec list twice into throwaway cache directories — one
+    serial, one through :mod:`repro.parallel` — and compares every artifact
+    array-for-array.  This is the worker-count-independence contract of
+    PR 1 stated as an executable check.
+    """
+    from repro.experiments.zoo import artifact_path, build_zoo, parent_specs
+    from repro.utils.serialization import load_state
+
+    report = report if report is not None else VerificationReport(subject="zoo")
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_dir, parallel_dir = Path(tmp) / "serial", Path(tmp) / "parallel"
+        with _cache_dir_override(serial_dir):
+            build_zoo(specs, scale, jobs=1)
+            serial_paths = {
+                spec: artifact_path(spec, scale)
+                for spec in [*parent_specs(specs), *specs]
+            }
+            serial = {
+                spec: load_state(path) for spec, path in serial_paths.items()
+            }
+        with _cache_dir_override(parallel_dir):
+            build_zoo(specs, scale, jobs=jobs)
+            for spec in serial:
+                loaded = load_state(artifact_path(spec, scale))
+                bad = state_mismatches(serial[spec][0], loaded[0])
+                meta_equal = serial[spec][1] == loaded[1]
+                report.add(
+                    f"jobs_equivalence[{spec.key(scale)}]",
+                    not bad and meta_equal,
+                    detail=(
+                        f"serial vs jobs={jobs} artifacts differ: "
+                        f"{bad[:5] or 'metadata'}"
+                        if bad or not meta_equal
+                        else ""
+                    ),
+                    context={"mismatched_keys": bad},
+                )
+    return report

@@ -1,0 +1,140 @@
+"""Structured results for verification checks.
+
+Every checker in :mod:`repro.verify` appends :class:`CheckResult` rows to a
+:class:`VerificationReport`; callers decide whether a failed report prints,
+raises (:class:`VerificationError`), or lands in a JSON audit artifact.
+Keeping the result structured — name, subject, detail, context numbers —
+is what lets the CLI audit hundreds of cached artifacts and still say
+*which* invariant broke on *which* checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one invariant or oracle check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+@dataclass
+class VerificationReport:
+    """All check results for one subject (a model, artifact, or curve)."""
+
+    subject: str
+    results: list[CheckResult] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        passed: bool,
+        detail: str = "",
+        context: dict[str, Any] | None = None,
+    ) -> CheckResult:
+        result = CheckResult(
+            name=name, passed=bool(passed), detail=detail, context=dict(context or {})
+        )
+        self.results.append(result)
+        return result
+
+    def extend(self, other: "VerificationReport") -> "VerificationReport":
+        self.results.extend(other.results)
+        return self
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> str:
+        lines = [
+            f"verify {self.subject}: "
+            f"{len(self.results) - len(self.failures)}/{len(self.results)} checks passed"
+        ]
+        lines.extend(f"  {r}" for r in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "passed": self.passed,
+            "results": [
+                {
+                    "name": r.name,
+                    "passed": r.passed,
+                    "detail": r.detail,
+                    "context": _jsonable(r.context),
+                }
+                for r in self.results
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def raise_if_failed(self) -> "VerificationReport":
+        if not self.passed:
+            raise VerificationError(self)
+        return self
+
+
+class VerificationError(RuntimeError):
+    """A verification report with at least one failed check.
+
+    Raised by the ``REPRO_VERIFY=1`` runtime hooks so a silent accounting
+    bug fails fast at the step that introduced it instead of surfacing as
+    an implausible table three experiments later.
+    """
+
+    def __init__(self, report: VerificationReport):
+        self.report = report
+        super().__init__(report.summary())
+
+
+def merge_reports(
+    subject: str, reports: Iterable[VerificationReport]
+) -> VerificationReport:
+    """Flatten per-artifact reports into one audit-level report."""
+    merged = VerificationReport(subject=subject)
+    for report in reports:
+        for result in report.results:
+            merged.results.append(
+                CheckResult(
+                    name=f"{report.subject}: {result.name}",
+                    passed=result.passed,
+                    detail=result.detail,
+                    context=result.context,
+                )
+            )
+    return merged
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of context values for JSON reports."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

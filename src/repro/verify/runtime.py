@@ -1,0 +1,129 @@
+"""Opt-in runtime verification hooks (``REPRO_VERIFY=1``).
+
+The hot paths (PRUNERETRAIN steps, curve evaluation, zoo cache hits) call
+these no-op-by-default hooks; setting ``REPRO_VERIFY=1`` turns each into a
+cheap invariant sweep that raises :class:`VerificationError` at the exact
+step that broke, instead of letting a mask/accounting bug propagate into
+every downstream table.  Only O(weights) checks run here — differential
+oracles (determinism, jobs equivalence) stay in the test tiers and the
+``python -m repro verify`` audit.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.nn.module import Module
+from repro.verify.invariants import (
+    check_curve_sanity,
+    check_mask_weight_consistency,
+    check_prune_accounting,
+    check_state_consistency,
+    check_structured_masks,
+)
+from repro.verify.report import VerificationReport
+
+ENV_VAR = "REPRO_VERIFY"
+_FALSY = ("", "0", "false", "off", "no")
+
+
+def verify_enabled() -> bool:
+    """True when the current process opted into runtime verification."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def verify_prune_step(
+    model: Module,
+    achieved_ratio: float,
+    target_ratio: float,
+    method_name: str,
+    structured: bool,
+    step: int,
+) -> None:
+    """After one prune step: masks consistent, accounting matches the
+    ratio the method just reported.  Raises on failure when enabled."""
+    if not verify_enabled():
+        return
+    report = VerificationReport(
+        subject=f"{method_name} step {step} (target {target_ratio:.3f})"
+    )
+    check_mask_weight_consistency(model, report=report)
+    check_prune_accounting(model, reported_ratio=achieved_ratio, report=report)
+    if structured:
+        check_structured_masks(model, report=report)
+    report.raise_if_failed()
+
+
+def verify_retrained(model: Module, method_name: str, step: int) -> None:
+    """After retraining: pruned weights stayed pruned (the mask factored
+    into the gradient, so nothing revived)."""
+    if not verify_enabled():
+        return
+    report = VerificationReport(subject=f"{method_name} retrain step {step}")
+    check_mask_weight_consistency(model, report=report)
+    report.raise_if_failed()
+
+
+def verify_run_curve(run) -> None:
+    """At the end of :meth:`PruneRetrain.run`: the recorded curve is sane."""
+    if not verify_enabled():
+        return
+    report = VerificationReport(subject=f"PruneRun[{run.method_name}]")
+    check_curve_sanity(
+        run.ratios, run.test_errors, run.parent_test_error, report=report
+    )
+    report.raise_if_failed()
+
+
+def verify_curve(curve) -> None:
+    """After :func:`~repro.analysis.prune_potential.evaluate_curve`."""
+    if not verify_enabled():
+        return
+    report = VerificationReport(subject=f"curve[{curve.distribution}]")
+    check_curve_sanity(
+        curve.ratios, curve.errors, curve.parent_error, report=report
+    )
+    report.raise_if_failed()
+
+
+def verify_curve_result(result) -> None:
+    """After a curve experiment: per-repetition curves sane, FR in [0, 1]."""
+    if not verify_enabled():
+        return
+    import numpy as np
+
+    label = f"{result.task_name}/{result.model_name}/{result.method_name}"
+    report = VerificationReport(subject=f"prune_curve[{label}]")
+    for rep in range(result.errors.shape[0]):
+        check_curve_sanity(
+            result.ratios,
+            result.errors[rep],
+            float(result.parent_errors[rep]),
+            report=report,
+            label=f"rep{rep}",
+        )
+    frs = np.asarray(result.flop_reductions, dtype=float)
+    report.add(
+        "flop_reduction_range",
+        bool(np.isfinite(frs).all() and ((frs >= 0) & (frs <= 1)).all()),
+        context={"min": float(frs.min()), "max": float(frs.max())},
+    )
+    report.raise_if_failed()
+
+
+def verify_loaded_run(run, source: str) -> None:
+    """On a zoo cache hit: the artifact we are about to trust is healthy."""
+    if not verify_enabled():
+        return
+    report = VerificationReport(subject=f"cached run {source}")
+    for i, ckpt in enumerate(run.checkpoints):
+        ckpt_report = check_state_consistency(
+            ckpt.state, reported_ratio=ckpt.achieved_ratio
+        )
+        for result in ckpt_report.results:
+            result.name = f"ckpt{i}.{result.name}"
+        report.results.extend(ckpt_report.results)
+    check_curve_sanity(
+        run.ratios, run.test_errors, run.parent_test_error, report=report
+    )
+    report.raise_if_failed()

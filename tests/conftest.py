@@ -1,9 +1,23 @@
-"""Shared fixtures: tiny tasks, models, and a session-scoped trained model."""
+"""Shared fixtures (tiny tasks, models, a session-scoped trained model) and
+the test-tier marker scheme.
+
+Tests are split into two tiers: ``tier1`` is the fast default that every
+PR runs (`pytest -m tier1`), ``tier2`` holds the slow integration,
+hypothesis-property, and differential-oracle tests that run nightly.  Any
+test not explicitly marked ``tier2`` is auto-marked ``tier1``, so new
+tests land in the fast tier unless someone deliberately opts them out.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "tier2" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
 
 from repro import data, models, nn
 from repro.data.datasets import TaskSuite

@@ -1,0 +1,89 @@
+"""Memo cache keys are pure functions of call values — stable across
+processes and sessions, never dependent on object identity or hash seeds."""
+
+import subprocess
+import sys
+
+from repro.experiments import SMOKE
+from repro.experiments.memo import cache_key, memoize
+
+# One representative call signature: every container kind the normalizer
+# handles plus a frozen-dataclass scale, as real experiment calls pass.
+KEY_SNIPPET = """
+from repro.experiments import SMOKE
+from repro.experiments.memo import cache_key
+
+key = cache_key(
+    ("cifar", ["resnet20", "vgg16"], SMOKE),
+    {
+        "methods": ("wt", "ft"),
+        "corruptions": {"gaussian_noise", "brightness"},
+        "options": {"delta": 0.01, "robust": False},
+        "jobs": 4,
+    },
+    ignore=("jobs",),
+)
+print(repr(key))
+"""
+
+
+def _subprocess_key() -> str:
+    out = subprocess.run(
+        [sys.executable, "-c", KEY_SNIPPET],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+class TestCacheKeyStability:
+    def test_key_identical_across_processes(self):
+        """The exact key of this process reproduces in a fresh interpreter.
+
+        Guards against identity- or hash-seed-dependent key material (id(),
+        unsorted set iteration, default object repr), any of which would
+        break cache hits between a driver and its pool workers.
+        """
+        local = repr(
+            cache_key(
+                ("cifar", ["resnet20", "vgg16"], SMOKE),
+                {
+                    "methods": ("wt", "ft"),
+                    "corruptions": {"gaussian_noise", "brightness"},
+                    "options": {"delta": 0.01, "robust": False},
+                    "jobs": 4,
+                },
+                ignore=("jobs",),
+            )
+        )
+        assert local == _subprocess_key()
+        # And a second fresh interpreter (different hash seed) agrees too.
+        assert _subprocess_key() == _subprocess_key()
+
+    def test_key_is_value_based(self):
+        a = cache_key((["x", "y"], {"k": [1, 2]}), {"s": {2, 1}})
+        b = cache_key((("x", "y"), {"k": (1, 2)}), {"s": frozenset((1, 2))})
+        assert a == b
+
+    def test_ignore_drops_knob(self):
+        assert cache_key((), {"jobs": 1}, ignore=("jobs",)) == cache_key(
+            (), {"jobs": 8}, ignore=("jobs",)
+        )
+        assert cache_key((), {"jobs": 1}) != cache_key((), {"jobs": 8})
+
+    def test_scale_variants_key_differently(self):
+        assert cache_key((SMOKE,), {}) != cache_key(
+            (SMOKE.with_(n_repetitions=7),), {}
+        )
+
+    def test_memoize_uses_cache_key(self):
+        calls = []
+
+        @memoize
+        def fn(items):
+            calls.append(items)
+            return len(calls)
+
+        assert fn(["a", "b"]) == fn(("a", "b")) == 1
+        assert len(calls) == 1

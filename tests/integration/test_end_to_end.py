@@ -16,6 +16,8 @@ from repro.pruning import PruneRetrain, build_method, model_prune_ratio
 
 from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
 
+pytestmark = pytest.mark.tier2
+
 
 @pytest.fixture(scope="module")
 def pipeline_artifacts():

@@ -129,6 +129,7 @@ class TestParallelMap:
         assert "bad item 3" in message
         assert "_boom" in excinfo.value.remote_traceback
 
+    @pytest.mark.tier2
     def test_spawn_start_method_safe(self):
         if "spawn" not in multiprocessing.get_all_start_methods():
             pytest.skip("spawn unavailable")

@@ -1,0 +1,155 @@
+"""Property-based tests of layer-budget allocation (FT / PFP / SiPP).
+
+The allocation contract shared by all three methods: per-layer budgets sum
+to the global prune ratio, no layer is ever pruned to zero surviving
+filters/channels, and the channel choice is equivariant under channel
+permutation (the *scores* decide, not the storage order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pruning import build_method
+from repro.pruning.ft import channel_l1_sensitivity
+from repro.pruning.mask import (
+    model_prune_ratio,
+    prunable_layers,
+    structured_prunable_layers,
+    total_prunable_weights,
+)
+from repro.pruning.sipp import relative_weight_sensitivity
+from repro.pruning.structured import (
+    apply_channel_counts,
+    channel_weight_cost,
+    pruned_channels,
+)
+
+from tests.conftest import make_tiny_cnn
+
+pytestmark = pytest.mark.tier2
+
+
+def _sample_inputs(seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((16, 3, 8, 8)).astype(
+        np.float32
+    )
+
+
+def _max_structured_ratio(model) -> float:
+    """The ratio when every structured layer keeps exactly one channel."""
+    pruned = sum(
+        (layer.in_channels - 1) * channel_weight_cost(layer)
+        for _, layer in structured_prunable_layers(model)
+    )
+    return pruned / total_prunable_weights(model)
+
+
+class TestStructuredAllocation:
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.05, 0.95), st.sampled_from(["ft", "pfp"]))
+    def test_target_reached_or_saturated(self, target, method_name):
+        model = make_tiny_cnn()
+        achieved = build_method(method_name).prune(model, target, _sample_inputs())
+        assert achieved == pytest.approx(model_prune_ratio(model))
+        saturated = _max_structured_ratio(model)
+        # Either the budget allocation met the global target, or the model
+        # hit the structural ceiling (one surviving channel everywhere).
+        assert achieved >= target - 1e-9 or achieved == pytest.approx(saturated)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.05, 0.95), st.sampled_from(["ft", "pfp"]))
+    def test_never_prunes_layer_to_zero_channels(self, target, method_name):
+        model = make_tiny_cnn()
+        build_method(method_name).prune(model, target, _sample_inputs())
+        for name, layer in structured_prunable_layers(model):
+            alive = layer.in_channels - int(pruned_channels(layer).sum())
+            assert alive >= 1, f"{name} lost all input channels"
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(0.1, 0.9))
+    def test_budgets_sum_to_global_ratio(self, target):
+        model = make_tiny_cnn()
+        build_method("ft").prune(model, target)
+        structured = dict(structured_prunable_layers(model))
+        by_budget = sum(
+            int(pruned_channels(layer).sum()) * channel_weight_cost(layer)
+            for layer in structured.values()
+        )
+        by_mask = sum(layer.num_pruned for layer in structured.values())
+        assert by_budget == by_mask
+        assert model_prune_ratio(model) == pytest.approx(
+            by_mask / total_prunable_weights(model)
+        )
+
+
+class TestSiPPAllocation:
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(0.05, 0.95))
+    def test_layer_budgets_sum_to_global_count(self, target):
+        model = make_tiny_cnn()
+        achieved = build_method("sipp").prune(model, target, _sample_inputs())
+        total = total_prunable_weights(model)
+        per_layer = sum(layer.num_pruned for _, layer in prunable_layers(model))
+        assert per_layer == round(achieved * total)
+        assert achieved == pytest.approx(target, abs=2 / total)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(0.05, 0.9))
+    def test_no_layer_fully_pruned(self, target):
+        # Relative sensitivities give every output unit a dominant incoming
+        # edge, so a global threshold never wipes out an entire layer.
+        model = make_tiny_cnn()
+        build_method("sipp").prune(model, target, _sample_inputs())
+        for name, layer in prunable_layers(model):
+            assert layer.num_pruned < layer.weight_mask.size, f"{name} fully pruned"
+
+
+class TestPermutationEquivariance:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_ft_sensitivity_equivariant(self, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((8, 6, 3, 3))
+        perm = rng.permutation(6)
+        np.testing.assert_allclose(
+            channel_l1_sensitivity(weight[:, perm]),
+            channel_l1_sensitivity(weight)[perm],
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_sipp_sensitivity_equivariant(self, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((8, 6, 3, 3))
+        activation = rng.uniform(0.1, 1.0, 6)
+        perm = rng.permutation(6)
+        np.testing.assert_allclose(
+            relative_weight_sensitivity(weight[:, perm], activation[perm]),
+            relative_weight_sensitivity(weight, activation)[:, perm],
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 7))
+    def test_channel_choice_follows_scores_not_order(self, seed, count):
+        """Permuting a layer's sensitivity scores prunes the permuted channels."""
+        rng = np.random.default_rng(seed)
+
+        def lowest_pruned(scores):
+            model = make_tiny_cnn()
+            layers = dict(structured_prunable_layers(model))
+            name = next(iter(layers))
+            sens = {
+                n: scores if n == name else channel_l1_sensitivity(l.weight.data)
+                for n, l in layers.items()
+            }
+            apply_channel_counts(model, sens, {name: count})
+            return name, pruned_channels(layers[name])
+
+        # Distinct scores: the pruned set is determined by values alone.
+        n_channels = 8
+        scores = rng.permutation(n_channels).astype(np.float64) + 1.0
+        perm = rng.permutation(n_channels)
+        _, base = lowest_pruned(scores)
+        _, permuted = lowest_pruned(scores[perm])
+        np.testing.assert_array_equal(base[perm], permuted)

@@ -6,6 +6,9 @@ from hypothesis.extra import numpy as hnp
 
 from repro.autograd import Tensor, functional as F
 from repro.autograd.tensor import unbroadcast
+import pytest
+
+pytestmark = pytest.mark.tier2
 
 finite_floats = st.floats(-10, 10, allow_nan=False, width=32)
 

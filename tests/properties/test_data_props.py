@@ -7,6 +7,9 @@ from repro.data.corruptions import available_corruptions, corrupt
 from repro.data.noise import add_uniform_noise
 from repro.data.synthetic import ClassificationTaskConfig, generate_classification
 from repro.utils.serialization import load_state, save_state
+import pytest
+
+pytestmark = pytest.mark.tier2
 
 
 class TestGeneratorProperties:

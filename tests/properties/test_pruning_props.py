@@ -15,6 +15,8 @@ from repro.pruning.structured import pruned_channels
 
 from tests.conftest import make_tiny_cnn
 
+pytestmark = pytest.mark.tier2
+
 
 class TestWTProperties:
     @settings(max_examples=12, deadline=None)

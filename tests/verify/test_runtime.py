@@ -1,0 +1,92 @@
+"""REPRO_VERIFY runtime hooks: no-op by default, fail fast when enabled."""
+
+import numpy as np
+import pytest
+
+from repro.pruning import PruneRetrain, build_method
+from repro.pruning.mask import prunable_layers
+from repro.verify import VerificationError
+from repro.verify.runtime import verify_enabled, verify_prune_step, verify_retrained
+
+from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
+
+
+def _corrupted_pruned_cnn():
+    model = make_tiny_cnn()
+    build_method("wt").prune(model, 0.5)
+    for _, layer in prunable_layers(model):
+        idx = np.argwhere(layer.weight_mask == 0)
+        if len(idx):
+            layer.weight.data[tuple(idx[0])] = 1.234
+            return model
+    raise AssertionError("no masked weight to corrupt")
+
+
+class TestVerifyEnabled:
+    @pytest.mark.parametrize("value", ["", "0", "false", "FALSE", "off", "no"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert not verify_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes"])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert verify_enabled()
+
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert not verify_enabled()
+
+
+class TestHookGating:
+    def test_disabled_hooks_ignore_corruption(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        model = _corrupted_pruned_cnn()
+        verify_prune_step(model, 0.5, 0.5, "wt", structured=False, step=0)
+        verify_retrained(model, "wt", step=0)
+
+    def test_enabled_hook_raises_on_corruption(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        model = _corrupted_pruned_cnn()
+        with pytest.raises(VerificationError, match="mask_weight_consistency"):
+            verify_prune_step(model, 0.5, 0.5, "wt", structured=False, step=0)
+
+    def test_enabled_hook_raises_on_misreported_ratio(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        model = make_tiny_cnn()
+        achieved = build_method("wt").prune(model, 0.5)
+        with pytest.raises(VerificationError, match="reported_ratio_matches"):
+            verify_prune_step(
+                model, achieved + 0.1, 0.5, "wt", structured=False, step=0
+            )
+        # Error payload carries the structured report.
+        try:
+            verify_prune_step(model, achieved + 0.1, 0.5, "wt", False, 0)
+        except VerificationError as err:
+            assert err.report.failures
+
+
+class TestPipelineUnderVerify:
+    @pytest.mark.parametrize("method_name", ["wt", "ft"])
+    def test_healthy_pipeline_stays_green(self, monkeypatch, method_name):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        suite = make_tiny_suite(n_train=48, n_test=24)
+        trainer = make_tiny_trainer(make_tiny_cnn(), suite, epochs=1)
+        pipeline = PruneRetrain(
+            trainer, build_method(method_name), retrain_epochs=0, sample_size=16
+        )
+        run = pipeline.run(target_ratios=(0.3, 0.5))
+        assert len(run.checkpoints) == 2
+
+    def test_misreporting_method_fails_at_its_step(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        suite = make_tiny_suite(n_train=48, n_test=24)
+        trainer = make_tiny_trainer(make_tiny_cnn(), suite, epochs=1)
+        method = build_method("wt")
+        real_prune = method.prune
+        method.prune = lambda model, target, sample=None: (
+            real_prune(model, target, sample) + 0.03
+        )
+        pipeline = PruneRetrain(trainer, method, retrain_epochs=0)
+        with pytest.raises(VerificationError, match="reported_ratio_matches"):
+            pipeline.run(target_ratios=(0.3,))
