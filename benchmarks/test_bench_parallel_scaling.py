@@ -43,20 +43,22 @@ BENCH_SPECS = [
 ]
 
 
-def _timed_build(cache_dir: Path, jobs: int) -> tuple[float, dict[str, Path]]:
+def _timed_build(cache_dir: Path, jobs: int):
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     zoo.cached_suite.cache_clear()
     start = time.perf_counter()
-    zoo.build_zoo(BENCH_SPECS, BENCH_SCALE, jobs=jobs)
+    timing = zoo.build_zoo(BENCH_SPECS, BENCH_SCALE, jobs=jobs)
     elapsed = time.perf_counter() - start
-    return elapsed, {p.name: p for p in cache_dir.glob("*.npz")}
+    return elapsed, timing, {p.name: p for p in cache_dir.glob("*.npz")}
 
 
 def test_bench_parallel_scaling(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))  # restored after
 
-    serial_s, serial_artifacts = _timed_build(tmp_path / "serial", jobs=1)
-    parallel_s, parallel_artifacts = _timed_build(
+    serial_s, serial_timing, serial_artifacts = _timed_build(
+        tmp_path / "serial", jobs=1
+    )
+    parallel_s, parallel_timing, parallel_artifacts = _timed_build(
         tmp_path / "parallel", jobs=PARALLEL_JOBS
     )
 
@@ -78,6 +80,13 @@ def test_bench_parallel_scaling(tmp_path, monkeypatch):
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(speedup, 3),
+        # Cache-aware rollups from the GridTiming returned by build_zoo:
+        # both runs hit cold caches here, so hit rates should be 0 and the
+        # grid speedup reflects computed cells only.
+        "serial_cache_hit_rate": round(serial_timing.cache_hit_rate, 3),
+        "parallel_cache_hit_rate": round(parallel_timing.cache_hit_rate, 3),
+        "parallel_grid_speedup": round(parallel_timing.speedup, 3),
+        "parallel_throughput_cells_per_s": round(parallel_timing.throughput, 3),
         "artifacts_identical": True,
     }
     (REPO_ROOT / "BENCH_parallel.json").write_text(json.dumps(report, indent=2) + "\n")

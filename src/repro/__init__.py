@@ -13,7 +13,10 @@ The library is a pure-NumPy stack:
   (Def. 1), excess error (Def. 2), overparameterization summaries;
 - :mod:`repro.experiments` — one harness entry per paper table/figure;
 - :mod:`repro.verify` — invariant checkers, differential oracles, and the
-  ``REPRO_VERIFY=1`` runtime hooks guarding all of the above.
+  ``REPRO_VERIFY=1`` runtime hooks guarding all of the above;
+- :mod:`repro.observe` — spans, counters/gauges/histograms, and the
+  ``REPRO_OBSERVE=1`` crash-safe JSONL run ledger rendered by
+  ``python -m repro trace``.
 
 Quickstart::
 
@@ -31,7 +34,19 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import analysis, autograd, data, models, nn, optim, pruning, training, utils, verify
+from repro import (
+    analysis,
+    autograd,
+    data,
+    models,
+    nn,
+    observe,
+    optim,
+    pruning,
+    training,
+    utils,
+    verify,
+)
 
 __all__ = [
     "analysis",
@@ -39,6 +54,7 @@ __all__ = [
     "data",
     "models",
     "nn",
+    "observe",
     "optim",
     "pruning",
     "training",

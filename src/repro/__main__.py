@@ -7,6 +7,7 @@ Commands
 ``potential``  prune potential per distribution for one (model, method)
 ``tables``     print the PR/FR and overparameterization tables
 ``verify``     audit cached artifacts (mask/weight consistency, accounting)
+``trace``      render a run ledger (span tree + metric rollups)
 """
 
 from __future__ import annotations
@@ -36,10 +37,17 @@ def _scale(args):
 def cmd_zoo(args) -> int:
     from benchmarks.build_zoo import main as build_zoo_main  # type: ignore
 
+    from repro import observe
+
     argv = []
     if getattr(args, "jobs", None) is not None:
         argv += ["--jobs", str(args.jobs)]
-    return build_zoo_main(argv)
+    rc = build_zoo_main(argv)
+    ledger = observe.current_ledger_path()
+    if ledger is not None:
+        print(f"run ledger: {ledger}")
+        print(f"render it with: python -m repro trace {ledger}")
+    return rc
 
 
 def cmd_curve(args) -> int:
@@ -108,6 +116,21 @@ def cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_trace(args) -> int:
+    from repro.observe import load_report
+
+    try:
+        report = load_report(args.path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -145,6 +168,18 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="print every check, not just failures"
     )
     verify_parser.set_defaults(fn=cmd_verify)
+
+    trace_parser = sub.add_parser(
+        "trace", help="render a run ledger written under REPRO_OBSERVE=1"
+    )
+    trace_parser.add_argument(
+        "path",
+        help="ledger file (run-*.jsonl) or a directory of ledgers (newest wins)",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    trace_parser.set_defaults(fn=cmd_trace)
     parser.set_defaults(fn=cmd_zoo)
 
     args = parser.parse_args(argv)

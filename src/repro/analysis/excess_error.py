@@ -16,7 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.datasets import Dataset, Normalizer
-from repro.nn.module import Module
+from repro.nn.module import Module, preserve_state
 from repro.pruning.pipeline import PruneRun
 from repro.training.trainer import evaluate_model
 
@@ -56,7 +56,8 @@ def excess_error_difference(
     """``ê − e`` for every checkpoint of ``run``.
 
     The o.o.d. error is averaged across ``ood_datasets`` (the paper averages
-    over all corruptions of the test distribution).
+    over all corruptions of the test distribution).  The caller's model
+    state is restored after the sweep, also on exception.
     """
     if not ood_datasets:
         raise ValueError("need at least one o.o.d. dataset")
@@ -74,12 +75,13 @@ def excess_error_difference(
         )
         return nom, ood
 
-    parent_nom, parent_ood = errors_of(run.parent_state)
-    parent_excess = parent_ood - parent_nom
     diffs = []
-    for ckpt in run.checkpoints:
-        nom, ood = errors_of(ckpt.state)
-        diffs.append((ood - nom) - parent_excess)
+    with preserve_state(model):
+        parent_nom, parent_ood = errors_of(run.parent_state)
+        parent_excess = parent_ood - parent_nom
+        for ckpt in run.checkpoints:
+            nom, ood = errors_of(ckpt.state)
+            diffs.append((ood - nom) - parent_excess)
     return ExcessErrorResult(
         ratios=run.ratios,
         differences=np.array(diffs),

@@ -15,7 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.data.datasets import Dataset, Normalizer
-from repro.nn.module import Module
+from repro.nn.module import Module, preserve_state
 from repro.pruning.pipeline import PruneRun
 from repro.training.trainer import evaluate_model
 from repro.verify import runtime as verify_runtime
@@ -66,9 +66,10 @@ def evaluate_curve(
 ) -> PruneAccuracyCurve:
     """Evaluate the parent and every checkpoint of ``run`` on ``dataset``.
 
-    ``model`` must share the run's architecture; its weights are
-    overwritten.  ``transform`` applies to normalized inputs (noise
-    injection).
+    ``model`` must share the run's architecture; checkpoint weights are
+    swapped in during the sweep and the caller's state is restored on
+    exit (also on exception).  ``transform`` applies to normalized inputs
+    (noise injection).
     """
 
     def error_of(state: dict) -> float:
@@ -77,8 +78,9 @@ def evaluate_curve(
             model, dataset.images, dataset.labels, normalizer, transform=transform
         )["error"]
 
-    parent_error = error_of(run.parent_state)
-    errors = np.array([error_of(c.state) for c in run.checkpoints])
+    with preserve_state(model):
+        parent_error = error_of(run.parent_state)
+        errors = np.array([error_of(c.state) for c in run.checkpoints])
     curve = PruneAccuracyCurve(
         distribution=dataset.name,
         ratios=run.ratios,

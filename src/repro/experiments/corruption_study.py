@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import observe
 from repro.analysis.prune_potential import PruneAccuracyCurve, evaluate_curve
 from repro.analysis.regression import bootstrap_slope_ci, ols_slope_through_origin
 from repro.data.corruptions import available_corruptions
@@ -80,12 +81,16 @@ def _curve_cell(payload) -> tuple[int, str, PruneAccuracyCurve, CellTiming]:
     """Evaluate one (repetition, distribution) grid cell (worker-side)."""
     task_name, model_name, method_name, scale, robust, rep, name, dist_spec = payload
     t0 = time.perf_counter()
-    suite = cached_suite(task_name, scale)
-    dataset = _distribution_dataset(suite, dist_spec)
-    spec = ZooSpec(task_name, model_name, method_name, rep, robust)
-    run = get_prune_run(spec, scale)
-    model = make_model(spec, suite, scale)
-    curve = evaluate_curve(run, model, dataset, suite.normalizer())
+    with observe.span(
+        "eval_cell", grid="corruption", rep=rep, distribution=name
+    ):
+        suite = cached_suite(task_name, scale)
+        dataset = _distribution_dataset(suite, dist_spec)
+        spec = ZooSpec(task_name, model_name, method_name, rep, robust)
+        run = get_prune_run(spec, scale)
+        model = make_model(spec, suite, scale)
+        curve = evaluate_curve(run, model, dataset, suite.normalizer())
+    observe.incr("eval.cells")
     timing = CellTiming(
         key=f"rep{rep}/{name}", seconds=time.perf_counter() - t0
     )
@@ -122,7 +127,7 @@ def _evaluate_grid(
         jobs=resolve_jobs(jobs),
         wall_seconds=wall,
         cells=zoo_timing.cells + [t for *_, t in cells],
-    )
+    ).record()
     return curves, timing
 
 

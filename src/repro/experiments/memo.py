@@ -64,9 +64,16 @@ def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
+        # Lazy import: repro.experiments re-exports through packages that
+        # may still be initializing when memoized functions are defined.
+        from repro import observe
+
         key = cache_key(args, kwargs, ignore)
         if key not in cache:
+            observe.incr("memo.miss", fn=fn.__name__)
             cache[key] = fn(*args, **kwargs)
+        else:
+            observe.incr("memo.hit", fn=fn.__name__)
         return cache[key]
 
     wrapper.cache_clear = cache.clear  # type: ignore[attr-defined]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe
 from repro.analysis.functional_distance import noise_similarity
 from repro.analysis.prune_potential import evaluate_curve
 from repro.data.noise import add_uniform_noise
@@ -62,20 +63,22 @@ def _noise_cell(payload) -> tuple[int, int, float, CellTiming]:
 
     task_name, model_name, method_name, scale, rep, li = payload
     t0 = time.perf_counter()
-    suite = cached_suite(task_name, scale)
-    test = suite.test_set()
-    images_norm = suite.normalizer()(test.images)
     eps = scale.noise_levels[li]
-    rng = as_rng(scale.seed_for(rep) + 100 + li)
-    noisy = Dataset(
-        add_uniform_noise(images_norm, eps, rng),
-        test.labels,
-        name=f"{test.name}+noise{eps:.2f}",
-    )
-    spec = ZooSpec(task_name, model_name, method_name, rep)
-    run = get_prune_run(spec, scale)
-    model = make_model(spec, suite, scale)
-    curve = evaluate_curve(run, model, noisy, normalizer=None)
+    with observe.span("eval_cell", grid="noise", rep=rep, noise_level=eps):
+        suite = cached_suite(task_name, scale)
+        test = suite.test_set()
+        images_norm = suite.normalizer()(test.images)
+        rng = as_rng(scale.seed_for(rep) + 100 + li)
+        noisy = Dataset(
+            add_uniform_noise(images_norm, eps, rng),
+            test.labels,
+            name=f"{test.name}+noise{eps:.2f}",
+        )
+        spec = ZooSpec(task_name, model_name, method_name, rep)
+        run = get_prune_run(spec, scale)
+        model = make_model(spec, suite, scale)
+        curve = evaluate_curve(run, model, noisy, normalizer=None)
+    observe.incr("eval.cells")
     timing = CellTiming(
         key=f"rep{rep}/noise{eps:.2f}", seconds=time.perf_counter() - t0
     )
@@ -118,7 +121,7 @@ def noise_potential_experiment(
             jobs=resolve_jobs(jobs),
             wall_seconds=wall,
             cells=zoo_timing.cells + [t for *_, t in cells],
-        ),
+        ).record(),
     )
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe
 from repro.analysis.prune_potential import prune_potential_from_curve
 from repro.experiments.config import ExperimentScale
 from repro.experiments.memo import memoize
@@ -23,6 +24,7 @@ from repro.experiments.zoo import (
     make_suite,
 )
 from repro.nn.flops import count_flops
+from repro.nn.module import preserve_state
 from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
 from repro.pruning.pipeline import PruneRun
 from repro.verify import runtime as verify_runtime
@@ -60,12 +62,13 @@ def _flop_reductions(
 ) -> np.ndarray:
     suite = cached_suite(spec.task_name, scale)
     model = make_model(spec, suite, scale)
-    model.load_state_dict(run.parent_state)
-    base = count_flops(model, suite.input_shape)
-    out = []
-    for ckpt in run.checkpoints:
-        model.load_state_dict(ckpt.state)
-        out.append(1.0 - count_flops(model, suite.input_shape) / base)
+    with preserve_state(model):
+        model.load_state_dict(run.parent_state)
+        base = count_flops(model, suite.input_shape)
+        out = []
+        for ckpt in run.checkpoints:
+            model.load_state_dict(ckpt.state)
+            out.append(1.0 - count_flops(model, suite.input_shape) / base)
     return np.array(out)
 
 
@@ -73,9 +76,11 @@ def _rep_cell(payload):
     """Load one repetition's run and account its FLOPs (worker-side)."""
     task_name, model_name, method_name, scale, robust, rep = payload
     t0 = time.perf_counter()
-    spec = ZooSpec(task_name, model_name, method_name, rep, robust)
-    run = get_prune_run(spec, scale)
-    frs = _flop_reductions(run, spec, scale)
+    with observe.span("eval_cell", grid="prune_curve", rep=rep):
+        spec = ZooSpec(task_name, model_name, method_name, rep, robust)
+        run = get_prune_run(spec, scale)
+        frs = _flop_reductions(run, spec, scale)
+    observe.incr("eval.cells")
     timing = CellTiming(key=f"rep{rep}", seconds=time.perf_counter() - t0)
     return run.ratios, run.test_errors, run.parent_test_error, frs, timing
 
@@ -123,7 +128,7 @@ def prune_curve_experiment(
             jobs=resolve_jobs(jobs),
             wall_seconds=wall,
             cells=zoo_timing.cells + [c[4] for c in cells],
-        ),
+        ).record(),
     )
     verify_runtime.verify_curve_result(result)
     return result

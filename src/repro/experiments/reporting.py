@@ -30,8 +30,14 @@ def sparkline(values, lo: float | None = None, hi: float | None = None) -> str:
 
 
 def curve_line(label: str, xs, ys, fmt: str = "{:.2f}") -> str:
-    """One labelled sparkline row with endpoint annotations."""
+    """One labelled sparkline row with endpoint annotations.
+
+    An empty series renders as a labelled ``(no data)`` row instead of
+    raising, so one empty cell cannot abort a whole report.
+    """
     ys = list(ys)
+    if not ys:
+        return f"{label:<24s} (no data)"
     spark = sparkline(ys)
     return (
         f"{label:<24s} {spark}  "

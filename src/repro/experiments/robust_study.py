@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe
 from repro.experiments.config import ExperimentScale
 from repro.experiments.corruption_study import (
     CorruptionPotentialResult,
@@ -55,10 +56,13 @@ def robust_potential_experiment(
     """Per-corruption potential of robustly (re-)trained networks."""
     protocol = protocol or default_robust_protocol(scale.severity)
     corruptions = [*protocol.train_corruptions, *protocol.test_corruptions]
-    base = corruption_potential_experiment(
-        task_name, model_name, method_name, scale,
-        corruptions=corruptions, robust=True, jobs=jobs,
-    )
+    with observe.span(
+        "robust_potential", task=task_name, model=model_name, method=method_name
+    ):
+        base = corruption_potential_experiment(
+            task_name, model_name, method_name, scale,
+            corruptions=corruptions, robust=True, jobs=jobs,
+        )
     return RobustPotentialResult(base=base, protocol=protocol)
 
 
@@ -73,12 +77,15 @@ def robust_excess_error_experiment(
 ) -> ExcessErrorStudyResult:
     """``ê − e`` of robustly trained networks over the held-out corruptions."""
     protocol = protocol or default_robust_protocol(scale.severity)
-    return corruption_excess_error_experiment(
-        task_name,
-        model_name,
-        method_name,
-        scale,
-        corruptions=list(protocol.test_corruptions),
-        robust=True,
-        jobs=jobs,
-    )
+    with observe.span(
+        "robust_excess_error", task=task_name, model=model_name, method=method_name
+    ):
+        return corruption_excess_error_experiment(
+            task_name,
+            model_name,
+            method_name,
+            scale,
+            corruptions=list(protocol.test_corruptions),
+            robust=True,
+            jobs=jobs,
+        )

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import observe
 from repro.data.datasets import TaskSuite, cifar_like, imagenet_like, voc_like
 from repro.experiments.config import ExperimentScale
 from repro.models import build_model
@@ -275,11 +276,14 @@ def _build_cell(payload: tuple[ZooSpec, ExperimentScale]) -> CellTiming:
     spec, scale = payload
     path = artifact_path(spec, scale)
     cached = path.exists()
+    kind = "parent" if spec.method_name is None else "prune_run"
     t0 = time.perf_counter()
-    if spec.method_name is None:
-        get_parent_state(spec, scale)
-    else:
-        get_prune_run(spec, scale)
+    with observe.span("zoo_cell", key=spec.key(scale), kind=kind, cached=cached):
+        if spec.method_name is None:
+            get_parent_state(spec, scale)
+        else:
+            get_prune_run(spec, scale)
+    observe.incr("zoo.cache_hit" if cached else "zoo.cache_miss")
     return CellTiming(
         key=spec.key(scale), seconds=time.perf_counter() - t0, cached=cached
     )
@@ -311,22 +315,23 @@ def build_zoo(
     per-artifact and end-to-end wall-clock record.
     """
     specs = list(specs)
-    with stopwatch() as elapsed:
-        parents = parent_specs(specs)
-        cells = parallel_map(
-            _build_cell,
-            [(s, scale) for s in parents],
-            jobs=jobs,
-            start_method=start_method,
-        )
-        prune = [s for s in specs if s.method_name is not None]
-        cells += parallel_map(
-            _build_cell,
-            [(s, scale) for s in prune],
-            jobs=jobs,
-            start_method=start_method,
-        )
-        wall = elapsed()
+    with observe.span("build_zoo", specs=len(specs), jobs=resolve_jobs(jobs)):
+        with stopwatch() as elapsed:
+            parents = parent_specs(specs)
+            cells = parallel_map(
+                _build_cell,
+                [(s, scale) for s in parents],
+                jobs=jobs,
+                start_method=start_method,
+            )
+            prune = [s for s in specs if s.method_name is not None]
+            cells += parallel_map(
+                _build_cell,
+                [(s, scale) for s in prune],
+                jobs=jobs,
+                start_method=start_method,
+            )
+            wall = elapsed()
     return GridTiming(
         label="build_zoo", jobs=resolve_jobs(jobs), wall_seconds=wall, cells=cells
-    )
+    ).record()

@@ -7,7 +7,7 @@ forward pass applies multiplicatively, so masked weights receive zero
 gradient during retraining.
 """
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, preserve_state
 from repro.nn.container import ModuleList, Sequential
 from repro.nn.linear import Linear
 from repro.nn.conv import Conv2d
@@ -22,6 +22,7 @@ from repro.nn import init
 __all__ = [
     "Module",
     "Parameter",
+    "preserve_state",
     "Sequential",
     "ModuleList",
     "Linear",

@@ -7,6 +7,7 @@ state-dict, and train/eval machinery the rest of the library builds on.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Iterator
 
 import numpy as np
@@ -116,7 +117,16 @@ class Module:
                 )
             param.data = value.copy()
         for name, (module, local) in own_buffers.items():
-            module.set_buffer(local, np.asarray(state[name]).copy())
+            value = np.asarray(state[name])
+            current = module._buffers[local]
+            if value.shape != current.shape:
+                # A wrong-shaped mask or BN running stat comes from a
+                # different architecture; installing it silently corrupts
+                # every downstream forward pass.
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: {value.shape} vs {current.shape}"
+                )
+            module.set_buffer(local, value.copy())
         for module in self.modules():
             sync = getattr(module, "_sync_mask_state", None)
             if sync is not None:
@@ -178,3 +188,19 @@ class Module:
         if len(lines) == 1:
             return lines[0] + ")"
         return "\n".join(lines) + "\n)"
+
+
+@contextmanager
+def preserve_state(module: Module) -> Iterator[Module]:
+    """Snapshot ``module``'s state on entry and restore it on exit.
+
+    Curve and excess-error evaluation swap checkpoint weights into a
+    shared model via :meth:`Module.load_state_dict`; wrapping the sweep in
+    this context guarantees the caller gets its model back bit-identical —
+    parameters, buffers, and masks — even when evaluation raises.
+    """
+    snapshot = module.state_dict()
+    try:
+        yield module
+    finally:
+        module.load_state_dict(snapshot)

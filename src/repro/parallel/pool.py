@@ -25,6 +25,8 @@ import os
 import traceback
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import observe
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -135,17 +137,28 @@ def parallel_map(
     ctx = multiprocessing.get_context(resolve_start_method(start_method))
     slots: list[list[R] | None] = [None] * len(payloads)
     completion_order: list[list[R]] = []
-    with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
-        for status, start, result in pool.imap_unordered(_run_chunk, payloads):
-            if status == "err":
-                exc_type, message, remote_tb = result
-                raise WorkerError(
-                    f"worker failed with {exc_type}: {message}", remote_tb
-                )
-            if ordered:
-                slots[start // chunksize] = result
-            else:
-                completion_order.append(result)
+    # Opening the span before the pool forks exports the run-ledger
+    # environment, so worker processes attach their own event streams;
+    # the finally-merge folds those streams back even on worker failure.
+    try:
+        with observe.span(
+            "parallel_map", jobs=jobs, items=len(items), chunks=len(payloads)
+        ):
+            with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+                for status, start, result in pool.imap_unordered(
+                    _run_chunk, payloads
+                ):
+                    if status == "err":
+                        exc_type, message, remote_tb = result
+                        raise WorkerError(
+                            f"worker failed with {exc_type}: {message}", remote_tb
+                        )
+                    if ordered:
+                        slots[start // chunksize] = result
+                    else:
+                        completion_order.append(result)
+    finally:
+        observe.merge_worker_streams()
     if ordered:
         return [r for chunk in slots for r in chunk]  # type: ignore[union-attr]
     return [r for chunk in completion_order for r in chunk]

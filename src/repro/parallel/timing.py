@@ -39,18 +39,71 @@ class GridTiming:
         return float(sum(c.seconds for c in self.cells))
 
     @property
+    def computed_cells(self) -> list[CellTiming]:
+        """Cells that actually ran (cache hits are ≈0 s probes)."""
+        return [c for c in self.cells if not c.cached]
+
+    @property
+    def computed_seconds(self) -> float:
+        """Total compute inside non-cached cells."""
+        return float(sum(c.seconds for c in self.computed_cells))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells satisfied from cache (0 for an empty grid)."""
+        return (
+            sum(1 for c in self.cells if c.cached) / len(self.cells)
+            if self.cells
+            else 0.0
+        )
+
+    @property
     def throughput(self) -> float:
-        """Completed cells per wall-clock second."""
-        return len(self.cells) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        """Computed (non-cached) cells per wall-clock second.
+
+        Cache hits are excluded: counting ≈0 s probes as completed work
+        would report a warm cache as a fast grid.
+        """
+        n = len(self.computed_cells)
+        return n / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     @property
     def speedup(self) -> float:
-        """Achieved parallel speedup estimate (cell time / wall time)."""
-        return self.cell_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        """Achieved parallel speedup estimate (computed cell time / wall time).
+
+        Only computed cells enter the numerator; mixing in cached cells
+        would inflate the reported speedup whenever the cache is warm.
+        """
+        return (
+            self.computed_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+
+    def record(self) -> "GridTiming":
+        """Emit this grid's summary into the run ledger (no-op when
+        observation is disabled); returns self so dispatch sites can chain
+        ``GridTiming(...).record()``."""
+        # Lazy import: repro.parallel is imported during repro.observe's
+        # own bootstrap path (via the pool), so a module-level import here
+        # would be circular.
+        from repro import observe
+
+        observe.event(
+            "grid",
+            label=self.label,
+            jobs=self.jobs,
+            wall_seconds=self.wall_seconds,
+            cells=len(self.cells),
+            computed=len(self.computed_cells),
+            cache_hit_rate=self.cache_hit_rate,
+            speedup=self.speedup,
+        )
+        return self
 
     def summary(self) -> str:
         return (
-            f"{self.label}: {len(self.cells)} cells in {self.wall_seconds:.2f}s "
+            f"{self.label}: {len(self.cells)} cells "
+            f"({len(self.computed_cells)} computed, "
+            f"hit rate {self.cache_hit_rate:.0%}) in {self.wall_seconds:.2f}s "
             f"(jobs={self.jobs}, {self.throughput:.2f} cells/s, "
             f"speedup≈{self.speedup:.2f}x)"
         )

@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import observe
 from repro.nn.module import Module
 from repro.pruning.base import PruneMethod
 from repro.pruning.mask import model_prune_ratio
@@ -217,29 +218,69 @@ class PruneRetrain:
             parent_test_error=parent_error,
             meta={"target_ratios": list(ratios)},
         )
-        for step, target in enumerate(ratios):
-            sample = self._sample_inputs() if self.method.data_informed else None
-            achieved = self.method.prune(model, target, sample)
-            verify_runtime.verify_prune_step(
-                model,
-                achieved,
-                target,
-                self.method.name,
-                self.method.structured,
-                step,
-            )
-            if self.retrain_mode == "weight_rewind":
-                self._rewind_weights(model, run.parent_state)
-            self._retrain()
-            verify_runtime.verify_retrained(model, self.method.name, step)
-            error = self.trainer.evaluate()["error"]
-            run.checkpoints.append(
-                PruneCheckpoint(
-                    target_ratio=target,
-                    achieved_ratio=achieved,
-                    test_error=error,
-                    state=model.state_dict(),
-                )
-            )
+        observing = observe.enabled()
+        base_flops = self._count_flops(model) if observing else 0
+        with observe.span(
+            "prune_retrain",
+            method=self.method.name,
+            mode=self.retrain_mode,
+            targets=list(ratios),
+        ):
+            for step, target in enumerate(ratios):
+                with observe.span(
+                    "prune_step", method=self.method.name, step=step, target=target
+                ) as sp:
+                    sample = (
+                        self._sample_inputs() if self.method.data_informed else None
+                    )
+                    achieved = self.method.prune(model, target, sample)
+                    if observing:
+                        self._observe_step(sp, model, achieved, base_flops)
+                    verify_runtime.verify_prune_step(
+                        model,
+                        achieved,
+                        target,
+                        self.method.name,
+                        self.method.structured,
+                        step,
+                    )
+                    if self.retrain_mode == "weight_rewind":
+                        self._rewind_weights(model, run.parent_state)
+                    self._retrain()
+                    verify_runtime.verify_retrained(model, self.method.name, step)
+                    error = self.trainer.evaluate()["error"]
+                    sp.set(test_error=error)
+                    run.checkpoints.append(
+                        PruneCheckpoint(
+                            target_ratio=target,
+                            achieved_ratio=achieved,
+                            test_error=error,
+                            state=model.state_dict(),
+                        )
+                    )
         verify_runtime.verify_run_curve(run)
         return run
+
+    # ------------------------------------------------------- observability
+    def _count_flops(self, model: Module) -> int:
+        from repro.nn.flops import count_flops
+
+        return count_flops(model, self.trainer.task.input_shape)
+
+    def _observe_step(self, sp, model: Module, achieved: float, base_flops: int) -> None:
+        """Attach the sparsity/FLOP accounting of one prune step to its span."""
+        from repro.pruning.mask import prunable_layers
+
+        flops = self._count_flops(model)
+        sparsity = model_prune_ratio(model)
+        sp.set(
+            achieved=achieved,
+            sparsity=sparsity,
+            flop_reduction=1.0 - flops / base_flops if base_flops else 0.0,
+        )
+        for name, layer in prunable_layers(model):
+            observe.hist(
+                "prune.layer_ratio",
+                float(1.0 - layer.weight_mask.mean()),
+                layer=name,
+            )

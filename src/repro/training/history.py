@@ -7,10 +7,23 @@ from dataclasses import dataclass, field
 
 @dataclass
 class EpochRecord:
+    """One epoch's trace.
+
+    ``lr_last`` is the learning rate of the epoch's final step and
+    ``lr_mean`` the average over all its steps — with per-step warm-up or
+    decay the two differ, and recording only one hides schedule bugs.
+    """
+
     epoch: int
     train_loss: float
     train_accuracy: float
-    lr: float
+    lr_last: float = float("nan")
+    lr_mean: float = float("nan")
+
+    @property
+    def lr(self) -> float:
+        """Backwards-compatible alias for :attr:`lr_last`."""
+        return self.lr_last
 
 
 @dataclass

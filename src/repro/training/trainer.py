@@ -9,12 +9,13 @@ al. (2020) fine-tuning does.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro import nn
+from repro import nn, observe
 from repro.autograd import Tensor, no_grad
 from repro.data.datasets import Dataset, Normalizer, TaskSuite
 from repro.data.augmentation import random_crop_flip
@@ -130,12 +131,25 @@ class Trainer:
 
     # --------------------------------------------------------------- public
     def train(
-        self, epochs: int | None = None, schedule: LRSchedule | None = None
+        self,
+        epochs: int | None = None,
+        schedule: LRSchedule | None = None,
+        label: str = "train",
     ) -> History:
-        """Run the full recipe (used both for training and for retraining)."""
+        """Run the full recipe (used both for training and for retraining).
+
+        A caller-supplied ``schedule`` that is already a :class:`WarmupLR`
+        is used as-is (no double warm-up); otherwise the config's warm-up
+        is wrapped around it.  The schedule is evaluated at each step's
+        *completed* fractional epoch — never exactly 0, so the first batch
+        trains at a non-zero learning rate instead of a wasted no-op step.
+        """
         cfg = self.config
         epochs = cfg.epochs if epochs is None else epochs
-        schedule = WarmupLR(schedule or cfg.schedule, cfg.warmup_epochs)
+        base = schedule if schedule is not None else cfg.schedule
+        if not isinstance(base, WarmupLR):
+            base = WarmupLR(base, cfg.warmup_epochs)
+        schedule = base
         train = self.task.train_set()
         optimizer = SGD(
             self.model.parameters(),
@@ -147,42 +161,71 @@ class Trainer:
         history = History()
         self.model.train()
         n_batches = max(int(np.ceil(len(train) / cfg.batch_size)), 1)
+        first_step = 1.0 / n_batches
+        observing = observe.enabled()
 
-        for epoch in range(epochs):
-            loss_sum, acc_sum, seen = 0.0, 0.0, 0
-            for b, (x, y) in enumerate(
-                iterate_minibatches(
-                    train.images,
-                    train.labels,
-                    cfg.batch_size,
-                    rng=self._rng,
-                    augment=self._augment,
-                )
-            ):
-                optimizer.lr = cfg.lr * schedule(epoch + b / n_batches)
-                x = self.normalizer(x)
-                logits = self.model(Tensor(x))
-                loss = self.loss_fn(logits, y)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                n = len(x)
-                loss_sum += loss.item() * n
-                acc_sum += _accuracy(logits.data, y) * n
-                seen += n
-            history.append(
-                EpochRecord(
+        with observe.span(label, epochs=epochs, batch_size=cfg.batch_size):
+            for epoch in range(epochs):
+                loss_sum, acc_sum, seen = 0.0, 0.0, 0
+                lr_sum, lr_trace = 0.0, []
+                epoch_t0 = time.perf_counter()
+                for b, (x, y) in enumerate(
+                    iterate_minibatches(
+                        train.images,
+                        train.labels,
+                        cfg.batch_size,
+                        rng=self._rng,
+                        augment=self._augment,
+                    )
+                ):
+                    optimizer.lr = cfg.lr * schedule(
+                        max(epoch + b / n_batches, first_step)
+                    )
+                    lr_sum += optimizer.lr
+                    if observing:
+                        lr_trace.append(optimizer.lr)
+                    x = self.normalizer(x)
+                    logits = self.model(Tensor(x))
+                    loss = self.loss_fn(logits, y)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    n = len(x)
+                    loss_sum += loss.item() * n
+                    acc_sum += _accuracy(logits.data, y) * n
+                    seen += n
+                record = EpochRecord(
                     epoch=epoch,
                     train_loss=loss_sum / seen,
                     train_accuracy=acc_sum / seen,
-                    lr=optimizer.lr,
+                    lr_last=optimizer.lr,
+                    lr_mean=lr_sum / (b + 1),
                 )
-            )
+                history.append(record)
+                if observing:
+                    epoch_seconds = time.perf_counter() - epoch_t0
+                    observe.hist(
+                        "train.batches_per_s",
+                        (b + 1) / epoch_seconds if epoch_seconds > 0 else 0.0,
+                    )
+                    observe.event(
+                        "epoch",
+                        label=label,
+                        epoch=epoch,
+                        train_loss=record.train_loss,
+                        train_accuracy=record.train_accuracy,
+                        lr_last=record.lr_last,
+                        lr_mean=record.lr_mean,
+                        lr_trace=[round(v, 8) for v in lr_trace],
+                        seconds=epoch_seconds,
+                    )
         return history
 
     def retrain(self, epochs: int | None = None) -> History:
         """Retrain after pruning with the identical recipe (Algorithm 1, l.6)."""
-        return self.train(epochs, schedule=self.config.retrain_schedule)
+        return self.train(
+            epochs, schedule=self.config.retrain_schedule, label="retrain"
+        )
 
     def evaluate(
         self,

@@ -32,6 +32,18 @@ def verify_enabled() -> bool:
     return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
 
 
+def _observe_report(report: VerificationReport) -> None:
+    """Mirror one verification sweep into the run ledger (if observing)."""
+    from repro import observe
+
+    observe.event(
+        "verify",
+        subject=report.subject,
+        checks=len(report.results),
+        passed=report.passed,
+    )
+
+
 def verify_prune_step(
     model: Module,
     achieved_ratio: float,
@@ -51,6 +63,7 @@ def verify_prune_step(
     check_prune_accounting(model, reported_ratio=achieved_ratio, report=report)
     if structured:
         check_structured_masks(model, report=report)
+    _observe_report(report)
     report.raise_if_failed()
 
 
@@ -61,6 +74,7 @@ def verify_retrained(model: Module, method_name: str, step: int) -> None:
         return
     report = VerificationReport(subject=f"{method_name} retrain step {step}")
     check_mask_weight_consistency(model, report=report)
+    _observe_report(report)
     report.raise_if_failed()
 
 
@@ -72,6 +86,7 @@ def verify_run_curve(run) -> None:
     check_curve_sanity(
         run.ratios, run.test_errors, run.parent_test_error, report=report
     )
+    _observe_report(report)
     report.raise_if_failed()
 
 
@@ -83,6 +98,7 @@ def verify_curve(curve) -> None:
     check_curve_sanity(
         curve.ratios, curve.errors, curve.parent_error, report=report
     )
+    _observe_report(report)
     report.raise_if_failed()
 
 
@@ -108,6 +124,7 @@ def verify_curve_result(result) -> None:
         bool(np.isfinite(frs).all() and ((frs >= 0) & (frs <= 1)).all()),
         context={"min": float(frs.min()), "max": float(frs.max())},
     )
+    _observe_report(report)
     report.raise_if_failed()
 
 
@@ -126,4 +143,5 @@ def verify_loaded_run(run, source: str) -> None:
     check_curve_sanity(
         run.ratios, run.test_errors, run.parent_test_error, report=report
     )
+    _observe_report(report)
     report.raise_if_failed()

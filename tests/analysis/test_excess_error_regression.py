@@ -77,6 +77,35 @@ class TestExcessErrorDifference:
         with pytest.raises(ValueError, match="o.o.d."):
             excess_error_difference(run, model, suite.test_set(), [], suite.normalizer())
 
+    def test_model_state_bit_identical_after_sweep(self, trained_setup):
+        """Regression: the sweep loads parent/checkpoint weights into the
+        caller's model and must restore the exact prior state."""
+        model, suite, _ = trained_setup
+        from repro.pruning import PruneRun
+        from repro.pruning.pipeline import PruneCheckpoint
+        from tests.conftest import make_tiny_cnn
+
+        donor_state = model.state_dict()
+        run = PruneRun(
+            "wt",
+            parent_state=donor_state,
+            checkpoints=[
+                PruneCheckpoint(
+                    target_ratio=0.5, achieved_ratio=0.5, test_error=0.0,
+                    state=donor_state,
+                )
+            ],
+        )
+        probe = make_tiny_cnn(seed=4)
+        before = probe.state_dict()
+        excess_error_difference(
+            run, probe, suite.test_set(),
+            [suite.corrupted_test_set("brightness", 3)], suite.normalizer(),
+        )
+        after = probe.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+
     def test_zero_checkpoint_identical_to_parent(self, trained_setup):
         """A checkpoint with the parent's own weights has ê − e = 0."""
         model, suite, _ = trained_setup

@@ -70,6 +70,63 @@ class TestCurveObject:
         assert curve.potential(0.5) == 0.8
 
 
+class TestEvaluateCurvePreservesState:
+    """Regression: the curve sweep swaps checkpoint weights into the caller's
+    model; it must restore the exact prior state, also when evaluation dies
+    mid-sweep."""
+
+    @staticmethod
+    def _fixture(seed_probe=1, seed_run=2):
+        from tests.conftest import make_tiny_cnn, make_tiny_suite
+        from repro.pruning import PruneRun
+        from repro.pruning.pipeline import PruneCheckpoint
+
+        suite = make_tiny_suite(seed=3, n_train=32, n_test=16)
+        probe = make_tiny_cnn(seed=seed_probe)
+        donor = make_tiny_cnn(seed=seed_run)
+        run = PruneRun(
+            "wt",
+            parent_state=donor.state_dict(),
+            checkpoints=[
+                PruneCheckpoint(
+                    target_ratio=0.5,
+                    achieved_ratio=0.5,
+                    test_error=0.0,
+                    state=donor.state_dict(),
+                )
+            ],
+        )
+        return suite, probe, run
+
+    def test_state_bit_identical_after_sweep(self):
+        from repro.analysis.prune_potential import evaluate_curve
+
+        suite, probe, run = self._fixture()
+        before = probe.state_dict()
+        evaluate_curve(run, probe, suite.test_set(), suite.normalizer())
+        after = probe.state_dict()
+        assert set(before) == set(after)
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+
+    def test_state_restored_on_mid_sweep_exception(self):
+        from repro.analysis.prune_potential import evaluate_curve
+
+        suite, probe, run = self._fixture()
+        before = probe.state_dict()
+
+        def explode(x):
+            raise RuntimeError("evaluation died")
+
+        with pytest.raises(RuntimeError, match="evaluation died"):
+            evaluate_curve(
+                run, probe, suite.test_set(), suite.normalizer(), transform=explode
+            )
+        after = probe.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+
+
 class TestEvaluateCurveIntegration:
     def test_on_trained_model(self, trained_setup):
         from repro.analysis.prune_potential import evaluate_curve, prune_potential

@@ -32,6 +32,15 @@ class TestCurveLine:
         assert "potential" in line
         assert "0.80" in line and "0.20" in line
 
+    def test_empty_series_renders_labelled_row(self):
+        line = curve_line("potential", [], [])
+        assert "potential" in line
+        assert "no data" in line
+
+    def test_empty_generator_renders_labelled_row(self):
+        line = curve_line("gen", iter([]), iter([]))
+        assert "no data" in line
+
 
 class TestPercent:
     def test_formats(self):

@@ -1,0 +1,97 @@
+"""End-to-end observability: a real zoo build under ``REPRO_OBSERVE=1``
+produces a parseable ledger whose cell spans and cache counters reconcile
+with the :class:`~repro.parallel.timing.GridTiming` the build returns."""
+
+import pytest
+
+from repro import observe
+from repro.observe import load_report
+
+pytestmark = pytest.mark.tier2
+
+
+@pytest.fixture
+def micro_zoo(tmp_path, monkeypatch):
+    """Tiny zoo scale with an isolated cache and observation directory."""
+    from repro import experiments as ex
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "zoo"))
+    monkeypatch.delenv(observe.DIR_ENV, raising=False)
+    scale = ex.SMOKE.with_(
+        n_train=96,
+        n_test=48,
+        image_size=8,
+        num_classes=4,
+        base_width=2,
+        parent_epochs=1,
+        retrain_epochs=1,
+        target_ratios=(0.4, 0.8),
+        n_repetitions=1,
+    )
+    path = observe.configure(dir=tmp_path / "obs")
+    yield scale, path
+    observe.shutdown()
+
+
+def build(scale, jobs=1):
+    from repro.experiments.config import ExperimentScale  # noqa: F401
+    from repro.experiments.zoo import ZooSpec, build_zoo
+
+    specs = [ZooSpec("cifar", "resnet20", "wt", 0)]
+    return build_zoo(specs, scale, jobs=jobs)
+
+
+class TestZooLedgerReconciliation:
+    def test_cold_then_warm_build_reconcile(self, micro_zoo):
+        scale, path = micro_zoo
+        cold = build(scale)
+        warm = build(scale)
+        observe.shutdown()
+
+        assert cold.cache_hit_rate == 0.0
+        assert warm.cache_hit_rate == 1.0
+
+        report = load_report(path)
+        # One zoo_cell span per timed cell, cold and warm runs combined.
+        cell_spans = _spans(report, "zoo_cell")
+        assert len(cell_spans) == len(cold.cells) + len(warm.cells)
+        # Counter totals match the GridTiming cache accounting.
+        n_cached = sum(c.cached for c in cold.cells + warm.cells)
+        n_computed = sum(not c.cached for c in cold.cells + warm.cells)
+        assert report.counters.get("zoo.cache_hit", 0) == n_cached
+        assert report.counters.get("zoo.cache_miss", 0) == n_computed
+        assert report.cache_hit_rate == pytest.approx(
+            n_cached / (n_cached + n_computed)
+        )
+        # The grid event from GridTiming.record() landed for both builds.
+        assert report.event_counts.get("grid", 0) == 2
+        # Training instrumented: per-epoch events and a retrain span exist.
+        assert report.event_counts.get("epoch", 0) >= 1
+        assert _spans(report, "retrain")
+        assert _spans(report, "prune_step")
+
+    def test_render_and_json_round_trip(self, micro_zoo):
+        import json
+
+        scale, path = micro_zoo
+        build(scale)
+        observe.shutdown()
+        report = load_report(path)
+        text = report.render()
+        assert "build_zoo" in text and "zoo_cell" in text
+        parsed = json.loads(report.to_json())
+        assert parsed["spans"] == report.n_spans
+
+
+def _spans(report, name):
+    out = []
+
+    def walk(node):
+        if node.name == name:
+            out.append(node)
+        for child in node.children:
+            walk(child)
+
+    for root in report.roots:
+        walk(root)
+    return out

@@ -106,6 +106,13 @@ class TestStateDict:
         with pytest.raises(ValueError, match="shape"):
             net.load_state_dict(state)
 
+    def test_buffer_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["1.running_mean"] = np.zeros(7)  # BatchNorm2d(4) buffer
+        with pytest.raises(ValueError, match="shape mismatch for buffer"):
+            net.load_state_dict(state)
+
     def test_mask_state_resynced_on_load(self):
         net = small_net()
         conv = net[0]
@@ -118,6 +125,35 @@ class TestStateDict:
         fresh.load_state_dict(state)
         assert fresh[0]._mask_active
         assert fresh[0].num_pruned == conv.num_pruned
+
+
+class TestPreserveState:
+    def test_restores_after_mutation(self):
+        net = small_net()
+        before = net.state_dict()
+        with nn.preserve_state(net):
+            for p in net.parameters():
+                p.data += 1.0
+        after = net.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+
+    def test_restores_on_exception(self):
+        net = small_net()
+        before = net.state_dict()
+        with pytest.raises(RuntimeError):
+            with nn.preserve_state(net):
+                for p in net.parameters():
+                    p.data += 1.0
+                raise RuntimeError("mid-sweep failure")
+        after = net.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+
+    def test_yields_the_module(self):
+        net = small_net()
+        with nn.preserve_state(net) as m:
+            assert m is net
 
 
 class TestModes:

@@ -1,0 +1,16 @@
+"""Observe-test isolation: every test starts and ends with a clean,
+disabled observation state (no leaked env vars or open writers)."""
+
+import pytest
+
+from repro import observe
+
+
+@pytest.fixture(autouse=True)
+def _clean_observe_state(monkeypatch):
+    observe.shutdown()
+    # configure(dir=...) exports REPRO_OBSERVE_DIR; registering the delete
+    # with monkeypatch makes teardown restore the pre-test value.
+    monkeypatch.delenv(observe.DIR_ENV, raising=False)
+    yield
+    observe.shutdown()

@@ -1,0 +1,38 @@
+"""``python -m repro trace`` command surface."""
+
+import json
+
+from repro import observe
+from repro.__main__ import main
+
+
+def make_run(tmp_path):
+    path = observe.configure(dir=tmp_path)
+    with observe.span("work", k=1):
+        observe.incr("cells", 3)
+    observe.shutdown()
+    return path
+
+
+class TestTraceCommand:
+    def test_renders_ledger_file(self, tmp_path, capsys):
+        path = make_run(tmp_path)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "- work" in out
+        assert "cells = 3" in out
+
+    def test_renders_directory(self, tmp_path, capsys):
+        make_run(tmp_path)
+        assert main(["trace", str(tmp_path)]) == 0
+        assert "- work" in capsys.readouterr().out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        path = make_run(tmp_path)
+        assert main(["trace", str(path), "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["tree"][0]["name"] == "work"
+
+    def test_missing_ledger_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err

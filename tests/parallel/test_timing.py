@@ -1,0 +1,112 @@
+"""GridTiming / CellTiming accounting, including cache-aware rollups."""
+
+import pytest
+
+from repro import observe
+from repro.parallel.timing import CellTiming, GridTiming, grid_timing, stopwatch
+
+
+def mixed_grid():
+    """2 computed cells (3 s total) + 2 cache hits, 1.5 s wall clock."""
+    return GridTiming(
+        label="zoo",
+        jobs=4,
+        wall_seconds=1.5,
+        cells=[
+            CellTiming("a", 1.0),
+            CellTiming("b", 2.0),
+            CellTiming("c", 0.001, cached=True),
+            CellTiming("d", 0.002, cached=True),
+        ],
+    )
+
+
+class TestRollups:
+    def test_cell_seconds_counts_everything(self):
+        assert mixed_grid().cell_seconds == pytest.approx(3.003)
+
+    def test_computed_excludes_cache_hits(self):
+        timing = mixed_grid()
+        assert [c.key for c in timing.computed_cells] == ["a", "b"]
+        assert timing.computed_seconds == pytest.approx(3.0)
+
+    def test_cache_hit_rate(self):
+        assert mixed_grid().cache_hit_rate == pytest.approx(0.5)
+
+    def test_cache_hit_rate_empty_grid_is_zero(self):
+        timing = GridTiming(label="empty", jobs=1, wall_seconds=0.0)
+        assert timing.cache_hit_rate == 0.0
+
+    def test_throughput_counts_computed_only(self):
+        # 2 computed cells / 1.5 s wall; the warm cells must not inflate it.
+        assert mixed_grid().throughput == pytest.approx(2 / 1.5)
+
+    def test_speedup_uses_computed_seconds_only(self):
+        assert mixed_grid().speedup == pytest.approx(3.0 / 1.5)
+
+    def test_zero_wall_clock_degrades_to_zero(self):
+        timing = GridTiming(
+            label="g", jobs=1, wall_seconds=0.0, cells=[CellTiming("a", 1.0)]
+        )
+        assert timing.throughput == 0.0
+        assert timing.speedup == 0.0
+
+    def test_fully_cached_grid(self):
+        timing = GridTiming(
+            label="warm",
+            jobs=2,
+            wall_seconds=0.1,
+            cells=[CellTiming("a", 0.001, cached=True)],
+        )
+        assert timing.cache_hit_rate == 1.0
+        assert timing.throughput == 0.0
+        assert timing.speedup == pytest.approx(0.0)
+
+
+class TestSummary:
+    def test_mentions_hit_rate_and_speedup(self):
+        text = mixed_grid().summary()
+        assert "hit rate 50%" in text
+        assert "2 computed" in text
+        assert "speedup" in text
+
+    def test_constructor_helper(self):
+        timing = grid_timing("g", 2, 1.0, [CellTiming("a", 0.5)])
+        assert timing.label == "g"
+        assert timing.cells[0].key == "a"
+
+
+class TestRecord:
+    def test_returns_self_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(observe.ENV_VAR, raising=False)
+        timing = mixed_grid()
+        assert timing.record() is timing
+
+    def test_emits_grid_event_when_observing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(observe.DIR_ENV, raising=False)
+        observe.shutdown()
+        path = tmp_path / "run.jsonl"
+        observe.configure(path=path)
+        try:
+            timing = mixed_grid()
+            assert timing.record() is timing
+        finally:
+            observe.shutdown()
+        events = [
+            r for r in observe.read_events(path) if r.get("name") == "grid"
+        ]
+        assert len(events) == 1
+        attrs = events[0]["attrs"]
+        assert attrs["label"] == "zoo"
+        assert attrs["cells"] == 4
+        assert attrs["computed"] == 2
+        assert attrs["cache_hit_rate"] == pytest.approx(0.5)
+        assert attrs["speedup"] == pytest.approx(2.0)
+
+
+class TestStopwatch:
+    def test_elapsed_monotone(self):
+        with stopwatch() as elapsed:
+            first = elapsed()
+            second = elapsed()
+        assert 0 <= first <= second

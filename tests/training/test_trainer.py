@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.optim import MultiStepLR
+from repro.optim import ConstantLR, MultiStepLR, WarmupLR
 from repro.training import TrainConfig, Trainer, evaluate_model
 from repro.training.trainer import _accuracy
 
@@ -97,6 +97,52 @@ class TestTraining:
         trainer = Trainer(tiny_cnn, tiny_suite, config)
         history = trainer.retrain(1)
         assert history.epochs[-1].lr == pytest.approx(0.01, rel=1e-5)
+
+    def test_first_step_lr_is_nonzero(self, tiny_suite, tiny_cnn):
+        """Regression: the schedule used to be evaluated at epoch 0.0 for
+        the first batch, making it a wasted lr=0 step under warm-up."""
+
+        class SpyWarmup(WarmupLR):
+            def __init__(self):
+                super().__init__(ConstantLR(), warmup_epochs=1.0)
+                self.calls = []
+
+            def __call__(self, epoch):
+                self.calls.append(epoch)
+                return super().__call__(epoch)
+
+        spy = SpyWarmup()
+        config = TrainConfig(epochs=1, batch_size=32, lr=0.1, seed=0)
+        Trainer(tiny_cnn, tiny_suite, config).train(schedule=spy)
+        assert spy.calls, "schedule never consulted"
+        assert min(spy.calls) > 0.0
+        n_batches = len(spy.calls)
+        assert spy.calls[0] == pytest.approx(1.0 / n_batches)
+
+    def test_prewrapped_warmup_not_rewrapped(self, tiny_suite, tiny_cnn):
+        """A caller-supplied WarmupLR must be used as-is: re-wrapping it in
+        the config's warm-up would square the ramp (double warm-up)."""
+        config = TrainConfig(
+            epochs=1, batch_size=32, lr=0.1, warmup_epochs=10.0, seed=0
+        )
+        # Zero-epoch warm-up wrapper: if used as-is, the factor is 1
+        # everywhere; if re-wrapped by the config's 10-epoch warm-up, the
+        # epoch-0 mean factor would be ~0.
+        history = Trainer(tiny_cnn, tiny_suite, config).train(
+            schedule=WarmupLR(ConstantLR(), warmup_epochs=0.0)
+        )
+        assert history.epochs[0].lr_mean == pytest.approx(0.1, rel=1e-6)
+
+    def test_history_records_mean_and_last_lr(self, tiny_suite, tiny_cnn):
+        config = TrainConfig(
+            epochs=1, batch_size=32, lr=0.1, warmup_epochs=1.0,
+            schedule=ConstantLR(), seed=0,
+        )
+        history = Trainer(tiny_cnn, tiny_suite, config).train()
+        record = history.epochs[0]
+        # Under a 1-epoch linear warm-up the last step's lr tops the mean.
+        assert 0 < record.lr_mean < record.lr_last <= 0.1
+        assert record.lr == record.lr_last  # back-compat alias
 
     def test_augment_fn_hook_called(self, tiny_suite, tiny_cnn):
         calls = []
