@@ -11,10 +11,14 @@ runs, with per-artifact file locks so concurrent invocations are safe.
 
 Usage::
 
-    python benchmarks/build_zoo.py [--jobs N]
+    python benchmarks/build_zoo.py [--jobs N] [--on-error collect]
+    python benchmarks/build_zoo.py --resume <failure-manifest.json>
 
 ``--jobs 0`` means "all CPUs"; the default honours ``REPRO_NUM_WORKERS``
-and falls back to serial execution.
+and falls back to serial execution.  With ``--on-error collect`` a dead
+cell (after its retries) no longer aborts the build: surviving cells
+complete, the failures are persisted as a manifest in the cache dir, and
+``--resume`` re-dispatches exactly those cells against the warm cache.
 """
 
 from __future__ import annotations
@@ -54,6 +58,38 @@ def bench_zoo_specs() -> list[ZooSpec]:
     ]
 
 
+def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by the zoo CLI surfaces."""
+    parser.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default=None,
+        help="collect: finish surviving cells and persist a failure manifest "
+        "instead of aborting on the first dead cell (default: raise)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry budget per cell for transient failures "
+        "(default: REPRO_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell deadline in seconds; a hung worker is replaced "
+        "(default: REPRO_CELL_TIMEOUT or no deadline)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="re-dispatch only the failed cells recorded in this failure "
+        "manifest (from a previous --on-error collect run)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="pre-train the cached model zoo")
     parser.add_argument(
@@ -62,13 +98,46 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="worker processes (0 = all CPUs; default: REPRO_NUM_WORKERS or 1)",
     )
+    add_resilience_flags(parser)
     args = parser.parse_args(argv)
 
-    timing = build_zoo(bench_zoo_specs(), SMOKE, jobs=args.jobs)
+    if args.resume is not None:
+        from repro.resilience import resume_zoo
+
+        try:
+            timing = resume_zoo(
+                args.resume,
+                SMOKE,
+                jobs=args.jobs,
+                on_error=args.on_error or "collect",
+                max_retries=args.max_retries,
+                cell_timeout=args.cell_timeout,
+            )
+        except FileNotFoundError:
+            print(f"error: no failure manifest at {args.resume}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        timing = build_zoo(
+            bench_zoo_specs(),
+            SMOKE,
+            jobs=args.jobs,
+            on_error=args.on_error or "raise",
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+        )
     for cell in timing.cells:
         status = "cached" if cell.cached else "built"
         print(f"{cell.key}: {status} in {cell.seconds:.1f}s", flush=True)
     print(timing.summary())
+    if timing.failures:
+        for failure in timing.failures:
+            print(f"FAILED {failure.describe()}", flush=True)
+        print(f"failure manifest: {timing.manifest_path}")
+        print(f"resume with: python -m repro zoo --resume {timing.manifest_path}")
+        return 1
     return 0
 
 

@@ -23,6 +23,50 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="resnet20")
     parser.add_argument("--method", default="wt", choices=["wt", "sipp", "ft", "pfp"])
     parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = all CPUs; default: REPRO_NUM_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default="raise",
+        help="collect: degrade gracefully on dead cells (NaN holes + "
+        "failure manifest) instead of aborting",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="per-cell retry budget for transient failures "
+        "(default: REPRO_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell deadline in seconds (default: REPRO_CELL_TIMEOUT)",
+    )
+
+
+def _resilience_kwargs(args) -> dict:
+    return {
+        "jobs": args.jobs,
+        "on_error": args.on_error,
+        "max_retries": args.max_retries,
+        "cell_timeout": args.cell_timeout,
+    }
+
+
+def _report_degraded(timing) -> None:
+    if timing is None or not getattr(timing, "failures", None):
+        return
+    print()
+    for failure in timing.failures:
+        print(f"FAILED {failure.describe()}")
+    print(f"failure manifest: {timing.manifest_path}")
 
 
 def _scale(args):
@@ -42,6 +86,14 @@ def cmd_zoo(args) -> int:
     argv = []
     if getattr(args, "jobs", None) is not None:
         argv += ["--jobs", str(args.jobs)]
+    if getattr(args, "on_error", None) is not None:
+        argv += ["--on-error", args.on_error]
+    if getattr(args, "max_retries", None) is not None:
+        argv += ["--max-retries", str(args.max_retries)]
+    if getattr(args, "cell_timeout", None) is not None:
+        argv += ["--cell-timeout", str(args.cell_timeout)]
+    if getattr(args, "resume", None) is not None:
+        argv += ["--resume", args.resume]
     rc = build_zoo_main(argv)
     ledger = observe.current_ledger_path()
     if ledger is not None:
@@ -55,7 +107,10 @@ def cmd_curve(args) -> int:
     from repro.experiments.reporting import curve_line
 
     scale = _scale(args)
-    res = prune_curve_experiment(args.task, args.model, args.method, scale)
+    res = prune_curve_experiment(
+        args.task, args.model, args.method, scale, **_resilience_kwargs(args)
+    )
+    _report_degraded(res.timing)
     print(f"{args.model} / {args.method.upper()} on synth-{args.task}")
     print(f"parent test error: {100 * res.parent_errors.mean():.2f}%")
     print(curve_line("test error vs PR", res.ratios, res.error_mean))
@@ -72,7 +127,10 @@ def cmd_potential(args) -> int:
     from repro.utils.tables import format_table
 
     scale = _scale(args)
-    res = corruption_potential_experiment(args.task, args.model, args.method, scale)
+    res = corruption_potential_experiment(
+        args.task, args.model, args.method, scale, **_resilience_kwargs(args)
+    )
+    _report_degraded(res.timing)
     rows = [
         [d, f"{100 * m:.1f}", f"{100 * s:.1f}"]
         for d, m, s in zip(res.distributions, res.mean, res.std)
@@ -91,10 +149,11 @@ def cmd_tables(args) -> int:
     from repro.experiments import overparam_table, pr_fr_table
 
     scale = _scale(args)
-    _, text = pr_fr_table(args.task, [args.model], ["wt", "ft"], scale)
+    knobs = _resilience_kwargs(args)
+    _, text = pr_fr_table(args.task, [args.model], ["wt", "ft"], scale, **knobs)
     print(text)
     print()
-    _, text = overparam_table(args.task, [args.model], ["wt", "ft"], scale)
+    _, text = overparam_table(args.task, [args.model], ["wt", "ft"], scale, **knobs)
     print(text)
     return 0
 
@@ -141,6 +200,24 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="worker processes (0 = all CPUs; default: REPRO_NUM_WORKERS or 1)",
+    )
+    zoo_parser.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default=None,
+        help="collect: finish surviving cells, persist a failure manifest",
+    )
+    zoo_parser.add_argument(
+        "--max-retries", type=int, default=None, help="per-cell retry budget"
+    )
+    zoo_parser.add_argument(
+        "--cell-timeout", type=float, default=None, help="per-cell deadline (s)"
+    )
+    zoo_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="recompute only the failed cells of a previous degraded run",
     )
     for name, fn in [("curve", cmd_curve), ("potential", cmd_potential), ("tables", cmd_tables)]:
         p = sub.add_parser(name)

@@ -21,6 +21,12 @@ from repro.analysis.regression import bootstrap_slope_ci, ols_slope_through_orig
 from repro.data.corruptions import available_corruptions
 from repro.data.datasets import Dataset, TaskSuite
 from repro.experiments.config import ExperimentScale
+from repro.experiments.grid import (
+    dependency_failure,
+    dispatch_cells,
+    failed_repetitions,
+    persist_manifest,
+)
 from repro.experiments.memo import memoize
 from repro.experiments.zoo import (
     ZooSpec,
@@ -30,7 +36,7 @@ from repro.experiments.zoo import (
     make_model,
     make_suite,
 )
-from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
+from repro.parallel import CellTiming, GridTiming, resolve_jobs, stopwatch
 
 # A distribution spec is a compact, picklable recipe for one evaluation
 # set: ("nominal",), ("shifted",), or ("corruption", name, severity).
@@ -106,27 +112,62 @@ def _evaluate_grid(
     robust: bool,
     named_specs: list[tuple[str, DistributionSpec]],
     jobs: int | None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> tuple[dict[tuple[int, str], PruneAccuracyCurve], GridTiming]:
-    """Build required artifacts, then fan the evaluation cells out."""
+    """Build required artifacts, then fan the evaluation cells out.
+
+    With ``on_error="collect"`` the grid degrades instead of aborting:
+    repetitions whose zoo artifact died are skipped as ``dependency``
+    failures (their eval cells would just retrain the dead artifact
+    inline), dead eval cells leave holes in the returned curve dict, and
+    one manifest covering the zoo and eval phases is persisted.
+    """
+    failures = []
     with stopwatch() as elapsed:
         zoo_specs = [
             ZooSpec(task_name, model_name, method_name, rep, robust)
             for rep in range(scale.n_repetitions)
         ]
-        zoo_timing = build_zoo(zoo_specs, scale, jobs=jobs)
-        payloads = [
-            (task_name, model_name, method_name, scale, robust, rep, name, dist_spec)
+        zoo_timing = build_zoo(
+            zoo_specs, scale, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+        )
+        failures += zoo_timing.failures
+        dead_reps = failed_repetitions(zoo_timing)
+        payloads, keys = [], []
+        for index, (rep, (name, dist_spec)) in enumerate(
+            (rep, named)
             for rep in range(scale.n_repetitions)
-            for name, dist_spec in named_specs
-        ]
-        cells = parallel_map(_curve_cell, payloads, jobs=jobs)
+            for named in named_specs
+        ):
+            key = f"rep{rep}/{name}"
+            if rep in dead_reps:
+                failures.append(dependency_failure(key, index, f"zoo repetition {rep}"))
+                continue
+            payloads.append(
+                (task_name, model_name, method_name, scale, robust, rep, name, dist_spec)
+            )
+            keys.append(key)
+        results, eval_failures = dispatch_cells(
+            _curve_cell, payloads, keys, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+        )
+        failures += eval_failures
         wall = elapsed()
+    cells = [r for r in results if r is not None]
     curves = {(rep, name): curve for rep, name, curve, _ in cells}
+    total = len(zoo_timing.cells) + len(zoo_timing.failures)
+    total += scale.n_repetitions * len(named_specs)
+    manifest_path = persist_manifest(label, failures, total, scale)
     timing = GridTiming(
         label=label,
         jobs=resolve_jobs(jobs),
         wall_seconds=wall,
         cells=zoo_timing.cells + [t for *_, t in cells],
+        failures=failures,
+        manifest_path=manifest_path,
     ).record()
     return curves, timing
 
@@ -155,7 +196,7 @@ class CorruptionPotentialResult:
         return self.potentials[:, self.distributions.index(distribution)]
 
 
-@memoize(ignore=("jobs",))
+@memoize(ignore=("jobs", "max_retries", "cell_timeout"))
 def corruption_potential_experiment(
     task_name: str,
     model_name: str,
@@ -165,22 +206,33 @@ def corruption_potential_experiment(
     robust: bool = False,
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> CorruptionPotentialResult:
-    """Prune potential on nominal, shifted, and every corrupted test set."""
+    """Prune potential on nominal, shifted, and every corrupted test set.
+
+    Under ``on_error="collect"`` a failed cell becomes a NaN in
+    ``potentials`` and a ``None`` hole in its ``curves`` list (keeping
+    the per-repetition indices aligned); the failures live on
+    ``timing.failures``.
+    """
     suite = make_suite(task_name, scale)
     named_specs = distribution_specs(suite, scale, corruptions)
     names = [n for n, _ in named_specs]
     grid, timing = _evaluate_grid(
         f"corruption_potential[{task_name}/{model_name}/{method_name}]",
         task_name, model_name, method_name, scale, robust, named_specs, jobs,
+        on_error, max_retries, cell_timeout,
     )
-    potentials = np.zeros((scale.n_repetitions, len(names)))
+    potentials = np.full((scale.n_repetitions, len(names)), np.nan)
     curves: dict[str, list[PruneAccuracyCurve]] = {n: [] for n in names}
     for rep in range(scale.n_repetitions):
         for di, dist_name in enumerate(names):
-            curve = grid[(rep, dist_name)]
+            curve = grid.get((rep, dist_name))
             curves[dist_name].append(curve)
-            potentials[rep, di] = curve.potential(scale.delta)
+            if curve is not None:
+                potentials[rep, di] = curve.potential(scale.delta)
     return CorruptionPotentialResult(
         task_name=task_name,
         model_name=model_name,
@@ -210,7 +262,7 @@ class SeveritySweepResult:
         return self.potentials.mean(axis=0)
 
 
-@memoize(ignore=("jobs",))
+@memoize(ignore=("jobs", "max_retries", "cell_timeout"))
 def severity_sweep_experiment(
     task_name: str,
     model_name: str,
@@ -220,6 +272,9 @@ def severity_sweep_experiment(
     severities: tuple[int, ...] = (1, 2, 3, 4, 5),
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> SeveritySweepResult:
     """Prune potential of one corruption across severity levels."""
     named_specs = [
@@ -229,11 +284,14 @@ def severity_sweep_experiment(
     grid, timing = _evaluate_grid(
         f"severity_sweep[{task_name}/{model_name}/{method_name}/{corruption}]",
         task_name, model_name, method_name, scale, False, named_specs, jobs,
+        on_error, max_retries, cell_timeout,
     )
-    potentials = np.zeros((scale.n_repetitions, len(severities)))
+    potentials = np.full((scale.n_repetitions, len(severities)), np.nan)
     for rep in range(scale.n_repetitions):
         for si, (name, _) in enumerate(named_specs):
-            potentials[rep, si] = grid[(rep, name)].potential(scale.delta)
+            curve = grid.get((rep, name))
+            if curve is not None:
+                potentials[rep, si] = curve.potential(scale.delta)
     return SeveritySweepResult(
         task_name=task_name,
         model_name=model_name,
@@ -268,16 +326,22 @@ def corruption_excess_error_experiment(
     robust: bool = False,
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> ExcessErrorStudyResult:
     """``ê − e`` per prune ratio, averaged over the corruption suite.
 
     Built from the (memoized) per-distribution curves of
     :func:`corruption_potential_experiment`, so sharing a bench process with
-    the potential experiments costs no extra model evaluations.
+    the potential experiments costs no extra model evaluations.  A degraded
+    base grid contributes only its complete repetitions (every needed curve
+    present); with none left the study cannot be fit and raises.
     """
     base = corruption_potential_experiment(
         task_name, model_name, method_name, scale,
         corruptions=corruptions, robust=robust, jobs=jobs,
+        on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
     )
     corruption_names = [
         n for n in base.distributions if n not in ("nominal", "shifted")
@@ -285,16 +349,21 @@ def corruption_excess_error_experiment(
     all_ratios, all_diffs = [], []
     for rep in range(scale.n_repetitions):
         nominal_curve = base.curves["nominal"][rep]
-        ood_errors = np.mean(
-            [base.curves[n][rep].errors for n in corruption_names], axis=0
-        )
-        ood_parent = float(
-            np.mean([base.curves[n][rep].parent_error for n in corruption_names])
-        )
+        rep_curves = [base.curves[n][rep] for n in corruption_names]
+        if nominal_curve is None or any(c is None for c in rep_curves):
+            continue
+        ood_errors = np.mean([c.errors for c in rep_curves], axis=0)
+        ood_parent = float(np.mean([c.parent_error for c in rep_curves]))
         parent_excess = ood_parent - nominal_curve.parent_error
         all_ratios.append(nominal_curve.ratios)
         all_diffs.append((ood_errors - nominal_curve.errors) - parent_excess)
 
+    if not all_ratios:
+        raise RuntimeError(
+            f"corruption_excess_error[{task_name}/{model_name}/{method_name}]: "
+            "no complete repetition survived the degraded base grid "
+            f"(manifest: {base.timing.manifest_path if base.timing else None})"
+        )
     ratios = np.mean(all_ratios, axis=0)
     diffs = np.array(all_diffs)
     x = np.tile(ratios, diffs.shape[0])

@@ -71,7 +71,16 @@ def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
         key = cache_key(args, kwargs, ignore)
         if key not in cache:
             observe.incr("memo.miss", fn=fn.__name__)
-            cache[key] = fn(*args, **kwargs)
+            result = fn(*args, **kwargs)
+            # A degraded grid (its timing carries failures, its arrays NaN
+            # holes) must not be pinned for the process lifetime: a retry
+            # in the same process — e.g. after resuming the failed zoo
+            # cells — should recompute, not replay the holes.
+            timing = getattr(result, "timing", None)
+            if timing is not None and getattr(timing, "degraded", False):
+                observe.incr("memo.degraded_skip", fn=fn.__name__)
+                return result
+            cache[key] = result
         else:
             observe.incr("memo.hit", fn=fn.__name__)
         return cache[key]

@@ -18,6 +18,12 @@ from repro.analysis.functional_distance import noise_similarity
 from repro.analysis.prune_potential import evaluate_curve
 from repro.data.noise import add_uniform_noise
 from repro.experiments.config import ExperimentScale
+from repro.experiments.grid import (
+    dependency_failure,
+    dispatch_cells,
+    failed_repetitions,
+    persist_manifest,
+)
 from repro.experiments.zoo import (
     ZooSpec,
     build_zoo,
@@ -27,7 +33,7 @@ from repro.experiments.zoo import (
     make_model,
     make_suite,
 )
-from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
+from repro.parallel import CellTiming, GridTiming, resolve_jobs, stopwatch
 from repro.utils.rng import as_rng
 
 
@@ -92,24 +98,55 @@ def noise_potential_experiment(
     scale: ExperimentScale,
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> NoisePotentialResult:
-    """Evaluate Definition 1 under ℓ∞ noise of growing magnitude."""
+    """Evaluate Definition 1 under ℓ∞ noise of growing magnitude.
+
+    Under ``on_error="collect"`` failed cells become NaN entries in
+    ``potentials`` and the grid's failure manifest is persisted (see
+    :mod:`repro.resilience`).
+    """
+    label = f"noise_potential[{task_name}/{model_name}/{method_name}]"
+    failures = []
     with stopwatch() as elapsed:
         zoo_specs = [
             ZooSpec(task_name, model_name, method_name, rep)
             for rep in range(scale.n_repetitions)
         ]
-        zoo_timing = build_zoo(zoo_specs, scale, jobs=jobs)
-        payloads = [
-            (task_name, model_name, method_name, scale, rep, li)
-            for rep in range(scale.n_repetitions)
-            for li in range(len(scale.noise_levels))
-        ]
-        cells = parallel_map(_noise_cell, payloads, jobs=jobs)
+        zoo_timing = build_zoo(
+            zoo_specs, scale, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+        )
+        failures += zoo_timing.failures
+        dead_reps = failed_repetitions(zoo_timing)
+        payloads, keys = [], []
+        index = 0
+        for rep in range(scale.n_repetitions):
+            for li in range(len(scale.noise_levels)):
+                key = f"rep{rep}/noise{scale.noise_levels[li]:.2f}"
+                if rep in dead_reps:
+                    failures.append(
+                        dependency_failure(key, index, f"zoo repetition {rep}")
+                    )
+                else:
+                    payloads.append((task_name, model_name, method_name, scale, rep, li))
+                    keys.append(key)
+                index += 1
+        results, eval_failures = dispatch_cells(
+            _noise_cell, payloads, keys, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+        )
+        failures += eval_failures
         wall = elapsed()
-    potentials = np.zeros((scale.n_repetitions, len(scale.noise_levels)))
+    cells = [r for r in results if r is not None]
+    potentials = np.full((scale.n_repetitions, len(scale.noise_levels)), np.nan)
     for rep, li, potential, _ in cells:
         potentials[rep, li] = potential
+    total = len(zoo_timing.cells) + len(zoo_timing.failures)
+    total += scale.n_repetitions * len(scale.noise_levels)
+    manifest_path = persist_manifest(label, failures, total, scale)
     return NoisePotentialResult(
         task_name=task_name,
         model_name=model_name,
@@ -117,10 +154,12 @@ def noise_potential_experiment(
         noise_levels=np.asarray(scale.noise_levels),
         potentials=potentials,
         timing=GridTiming(
-            label=f"noise_potential[{task_name}/{model_name}/{method_name}]",
+            label=label,
             jobs=resolve_jobs(jobs),
             wall_seconds=wall,
             cells=zoo_timing.cells + [t for *_, t in cells],
+            failures=failures,
+            manifest_path=manifest_path,
         ).record(),
     )
 

@@ -14,6 +14,12 @@ import numpy as np
 from repro import observe
 from repro.analysis.prune_potential import prune_potential_from_curve
 from repro.experiments.config import ExperimentScale
+from repro.experiments.grid import (
+    dependency_failure,
+    dispatch_cells,
+    failed_repetitions,
+    persist_manifest,
+)
 from repro.experiments.memo import memoize
 from repro.experiments.zoo import (
     ZooSpec,
@@ -25,7 +31,7 @@ from repro.experiments.zoo import (
 )
 from repro.nn.flops import count_flops
 from repro.nn.module import preserve_state
-from repro.parallel import CellTiming, GridTiming, parallel_map, resolve_jobs, stopwatch
+from repro.parallel import CellTiming, GridTiming, resolve_jobs, stopwatch
 from repro.pruning.pipeline import PruneRun
 from repro.verify import runtime as verify_runtime
 
@@ -85,7 +91,7 @@ def _rep_cell(payload):
     return run.ratios, run.test_errors, run.parent_test_error, frs, timing
 
 
-@memoize(ignore=("jobs",))
+@memoize(ignore=("jobs", "max_retries", "cell_timeout"))
 def prune_curve_experiment(
     task_name: str,
     model_name: str,
@@ -94,43 +100,86 @@ def prune_curve_experiment(
     robust: bool = False,
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> PruneCurveResult:
-    """Build (or load) all repetitions and collect the nominal curve."""
+    """Build (or load) all repetitions and collect the nominal curve.
+
+    Under ``on_error="collect"`` a failed repetition becomes a NaN row
+    in ``errors``/``flop_reductions`` (and a NaN ``parent_errors``
+    entry); at least one repetition must survive or the curve cannot be
+    assembled and the experiment raises.
+    """
+    label = f"prune_curve[{task_name}/{model_name}/{method_name}]"
+    failures = []
     with stopwatch() as elapsed:
         zoo_specs = [
             ZooSpec(task_name, model_name, method_name, rep, robust)
             for rep in range(scale.n_repetitions)
         ]
-        zoo_timing = build_zoo(zoo_specs, scale, jobs=jobs)
-        cells = parallel_map(
-            _rep_cell,
-            [
-                (task_name, model_name, method_name, scale, robust, rep)
-                for rep in range(scale.n_repetitions)
-            ],
-            jobs=jobs,
+        zoo_timing = build_zoo(
+            zoo_specs, scale, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
         )
+        failures += zoo_timing.failures
+        dead_reps = failed_repetitions(zoo_timing)
+        payloads, keys = [], []
+        for rep in range(scale.n_repetitions):
+            if rep in dead_reps:
+                failures.append(
+                    dependency_failure(f"rep{rep}", rep, f"zoo repetition {rep}")
+                )
+                continue
+            payloads.append((task_name, model_name, method_name, scale, robust, rep))
+            keys.append(f"rep{rep}")
+        results, eval_failures = dispatch_cells(
+            _rep_cell, payloads, keys, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+        )
+        failures += eval_failures
         wall = elapsed()
-    ratios = [c[0] for c in cells]
-    errors = [c[1] for c in cells]
-    parents = [c[2] for c in cells]
-    frs = [c[3] for c in cells]
+    rep_cells = {
+        payload[-1]: cell
+        for payload, cell in zip(payloads, results)
+        if cell is not None
+    }
+    if not rep_cells:
+        raise RuntimeError(
+            f"{label}: every repetition failed; see the failure manifest"
+        )
+    n_ckpt = len(next(iter(rep_cells.values()))[0])
+    ratios = np.mean([rep_cells[r][0] for r in sorted(rep_cells)], axis=0)
+    errors = np.full((scale.n_repetitions, n_ckpt), np.nan)
+    parents = np.full(scale.n_repetitions, np.nan)
+    frs = np.full((scale.n_repetitions, n_ckpt), np.nan)
+    for rep, cell in rep_cells.items():
+        errors[rep] = cell[1]
+        parents[rep] = cell[2]
+        frs[rep] = cell[3]
+    total = len(zoo_timing.cells) + len(zoo_timing.failures) + scale.n_repetitions
+    manifest_path = persist_manifest(label, failures, total, scale)
     result = PruneCurveResult(
         task_name=task_name,
         model_name=model_name,
         method_name=method_name,
-        ratios=np.mean(ratios, axis=0),
-        errors=np.array(errors),
-        parent_errors=np.array(parents),
-        flop_reductions=np.array(frs),
+        ratios=ratios,
+        errors=errors,
+        parent_errors=parents,
+        flop_reductions=frs,
         timing=GridTiming(
-            label=f"prune_curve[{task_name}/{model_name}/{method_name}]",
+            label=label,
             jobs=resolve_jobs(jobs),
             wall_seconds=wall,
-            cells=zoo_timing.cells + [c[4] for c in cells],
+            cells=zoo_timing.cells + [c[4] for c in rep_cells.values()],
+            failures=failures,
+            manifest_path=manifest_path,
         ).record(),
     )
-    verify_runtime.verify_curve_result(result)
+    if not failures:
+        # The runtime oracles assume a complete grid; NaN rows from a
+        # degraded run would trip them spuriously.
+        verify_runtime.verify_curve_result(result)
     return result
 
 

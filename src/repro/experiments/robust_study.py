@@ -52,6 +52,9 @@ def robust_potential_experiment(
     protocol: RobustProtocol | None = None,
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> RobustPotentialResult:
     """Per-corruption potential of robustly (re-)trained networks."""
     protocol = protocol or default_robust_protocol(scale.severity)
@@ -62,6 +65,7 @@ def robust_potential_experiment(
         base = corruption_potential_experiment(
             task_name, model_name, method_name, scale,
             corruptions=corruptions, robust=True, jobs=jobs,
+            on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
         )
     return RobustPotentialResult(base=base, protocol=protocol)
 
@@ -74,6 +78,9 @@ def robust_excess_error_experiment(
     protocol: RobustProtocol | None = None,
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> ExcessErrorStudyResult:
     """``ê − e`` of robustly trained networks over the held-out corruptions."""
     protocol = protocol or default_robust_protocol(scale.severity)
@@ -88,4 +95,7 @@ def robust_excess_error_experiment(
             corruptions=list(protocol.test_corruptions),
             robust=True,
             jobs=jobs,
+            on_error=on_error,
+            max_retries=max_retries,
+            cell_timeout=cell_timeout,
         )

@@ -31,12 +31,21 @@ def pr_fr_table(
     model_names: Sequence[str],
     method_names: Sequence[str],
     scale: ExperimentScale,
+    *,
+    jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> tuple[list[PruneSummaryRow], str]:
     """Rows + rendered text of the Table 4/6/8 analog."""
     rows = []
     for model_name in model_names:
         for method_name in method_names:
-            result = prune_curve_experiment(task_name, model_name, method_name, scale)
+            result = prune_curve_experiment(
+                task_name, model_name, method_name, scale,
+                jobs=jobs, on_error=on_error,
+                max_retries=max_retries, cell_timeout=cell_timeout,
+            )
             rows.append(prune_summary_row(result, scale.delta))
     text = format_table(
         ["Model", "Method", "Orig. Err (%)", "ΔErr (%)", "PR (%)", "FR (%)"],
@@ -72,6 +81,11 @@ def overparam_table(
     method_names: Sequence[str],
     scale: ExperimentScale,
     robust: bool = False,
+    *,
+    jobs: int | None = None,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> tuple[list[OverparamRow], str]:
     """Average/minimum prune potential on the train vs test distribution.
 
@@ -84,15 +98,19 @@ def overparam_table(
     protocol = default_robust_protocol(scale.severity)
     for model_name in model_names:
         for method_name in method_names:
+            knobs = dict(
+                jobs=jobs, on_error=on_error,
+                max_retries=max_retries, cell_timeout=cell_timeout,
+            )
             if robust:
                 result = robust_potential_experiment(
-                    task_name, model_name, method_name, scale, protocol
+                    task_name, model_name, method_name, scale, protocol, **knobs
                 )
                 train_matrix = result.train_dist_potentials()
                 test_matrix = result.test_dist_potentials()
             else:
                 base = corruption_potential_experiment(
-                    task_name, model_name, method_name, scale
+                    task_name, model_name, method_name, scale, **knobs
                 )
                 train_matrix = base.potentials[
                     :, [base.distributions.index("nominal")]

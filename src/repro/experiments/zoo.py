@@ -168,27 +168,40 @@ def artifact_path(spec: ZooSpec, scale: ExperimentScale) -> Path:
     return cache_dir() / f"{spec.key(scale)}.npz"
 
 
-def _load_cached_state(path: Path) -> dict[str, np.ndarray] | None:
-    """Cached arrays, or ``None``; a corrupt archive is unlinked (miss)."""
+def _load_cached_state(
+    path: Path, unlink_corrupt: bool = False
+) -> dict[str, np.ndarray] | None:
+    """Cached arrays, or ``None`` (treating a corrupt archive as a miss).
+
+    ``unlink_corrupt`` may only be passed while holding the artifact lock:
+    unlinking from the lock-free fast path can delete the *complete*
+    archive a concurrent publisher just promoted over the torn one via
+    ``os.replace`` (the corrupt read and the unlink are not atomic).
+    """
     loaded = try_load_state(path)
     if loaded is not None:
         return loaded[0]
-    path.unlink(missing_ok=True)
+    if unlink_corrupt and path.exists():
+        path.unlink(missing_ok=True)
     return None
 
 
-def _load_cached_run(path: Path) -> PruneRun | None:
-    """Cached :class:`PruneRun`, or ``None``; corrupt archives are unlinked.
+def _load_cached_run(path: Path, unlink_corrupt: bool = False) -> PruneRun | None:
+    """Cached :class:`PruneRun`, or ``None`` (corrupt archives are misses).
 
     Corruption can also live in the metadata (e.g. truncated JSON), so the
-    full reconstruction is attempted, not just the array load.
+    full reconstruction is attempted, not just the array load.  As with
+    :func:`_load_cached_state`, ``unlink_corrupt`` is only safe under the
+    artifact lock — a lock-free unlink races the atomic republish of a
+    concurrent builder and can destroy its freshly published archive.
     """
     if not path.exists():
         return None
     try:
         return PruneRun.load(path)
     except Exception:
-        path.unlink(missing_ok=True)
+        if unlink_corrupt:
+            path.unlink(missing_ok=True)
         return None
 
 
@@ -216,7 +229,9 @@ def get_parent_state(spec: ZooSpec, scale: ExperimentScale) -> dict[str, np.ndar
     if state is not None:
         return state
     with artifact_lock(path):
-        state = _load_cached_state(path)
+        # Under the lock it is safe to unlink a corrupt archive: no
+        # concurrent publisher can be mid-replace on this path.
+        state = _load_cached_state(path, unlink_corrupt=True)
         if state is not None:
             return state
         state = _train_parent(parent_spec, scale)
@@ -259,7 +274,7 @@ def get_prune_run(spec: ZooSpec, scale: ExperimentScale) -> PruneRun:
         verify_runtime.verify_loaded_run(run, path.name)
         return run
     with artifact_lock(path):
-        run = _load_cached_run(path)
+        run = _load_cached_run(path, unlink_corrupt=True)
         if run is not None:
             verify_runtime.verify_loaded_run(run, path.name)
             return run
@@ -300,11 +315,32 @@ def parent_specs(specs: Iterable[ZooSpec]) -> list[ZooSpec]:
     return list(out)
 
 
+def _zoo_payload(spec: ZooSpec) -> dict:
+    """Manifest payload reconstructing ``spec`` (see ``repro.resilience.resume``)."""
+    return {
+        "kind": "zoo",
+        "task": spec.task_name,
+        "model": spec.model_name,
+        "method": spec.method_name,
+        "repetition": spec.repetition,
+        "robust": spec.robust,
+    }
+
+
+def _parent_of(spec: ZooSpec) -> ZooSpec:
+    return ZooSpec(spec.task_name, spec.model_name, None, spec.repetition, spec.robust)
+
+
 def build_zoo(
     specs: Sequence[ZooSpec],
     scale: ExperimentScale,
     jobs: int | None = None,
     start_method: str | None = None,
+    *,
+    on_error: str = "raise",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
+    manifest_dir: str | Path | None = None,
 ) -> GridTiming:
     """Materialize every artifact in ``specs`` across ``jobs`` processes.
 
@@ -313,25 +349,100 @@ def build_zoo(
     their parent in the cache instead of serializing on its lock.
     Idempotent; cached artifacts are cheap cache probes.  Returns the
     per-artifact and end-to-end wall-clock record.
+
+    With ``on_error="collect"`` a dead cell (exception, worker crash, or
+    deadline blown — after ``max_retries`` attempts, see
+    :mod:`repro.resilience`) no longer aborts the build: surviving cells
+    complete, prune runs whose parent failed are skipped as
+    ``dependency`` failures instead of retraining the parent under a
+    worker lock, and every failure is recorded in a
+    :class:`~repro.resilience.failures.FailureManifest` persisted under
+    ``manifest_dir`` (default: the cache dir).  The returned
+    :class:`GridTiming` carries the failures and the manifest path;
+    ``python -m repro zoo --resume <manifest>`` recomputes only those
+    cells.
     """
+    from repro.experiments.grid import persist_manifest
+    from repro.resilience import CellFailure
+    from repro.resilience.failures import KIND_DEPENDENCY
+
     specs = list(specs)
-    with observe.span("build_zoo", specs=len(specs), jobs=resolve_jobs(jobs)):
+    collect = on_error == "collect"
+    failures: list[CellFailure] = []
+    with observe.span(
+        "build_zoo", specs=len(specs), jobs=resolve_jobs(jobs), on_error=on_error
+    ) as span:
         with stopwatch() as elapsed:
             parents = parent_specs(specs)
-            cells = parallel_map(
+            parent_by_key = {s.key(scale): s for s in parents}
+            outcome = parallel_map(
                 _build_cell,
                 [(s, scale) for s in parents],
                 jobs=jobs,
                 start_method=start_method,
+                on_error=on_error,
+                max_retries=max_retries,
+                timeout=cell_timeout,
+                keys=[s.key(scale) for s in parents],
             )
+            if collect:
+                cells = [c for c in outcome.results if c is not None]
+                failures += [
+                    f.with_payload(_zoo_payload(parent_by_key[f.key]))
+                    for f in outcome.failures
+                ]
+            else:
+                cells = list(outcome)
+            # Prune runs whose parent failed would retrain it inline under
+            # the artifact lock (and likely die the same way); skip them as
+            # dependency failures instead.
+            dead_parents = {parent_by_key[f.key] for f in failures}
             prune = [s for s in specs if s.method_name is not None]
-            cells += parallel_map(
+            runnable = [s for s in prune if _parent_of(s) not in dead_parents]
+            for index, spec in enumerate(prune):
+                if _parent_of(spec) in dead_parents:
+                    parent_key = _parent_of(spec).key(scale)
+                    failures.append(
+                        CellFailure(
+                            key=spec.key(scale),
+                            index=index,
+                            kind=KIND_DEPENDENCY,
+                            error_type="DependencyFailed",
+                            message=f"parent cell {parent_key} failed",
+                            attempts=0,
+                            payload=_zoo_payload(spec),
+                        )
+                    )
+            prune_by_key = {s.key(scale): s for s in runnable}
+            outcome = parallel_map(
                 _build_cell,
-                [(s, scale) for s in prune],
+                [(s, scale) for s in runnable],
                 jobs=jobs,
                 start_method=start_method,
+                on_error=on_error,
+                max_retries=max_retries,
+                timeout=cell_timeout,
+                keys=[s.key(scale) for s in runnable],
             )
+            if collect:
+                cells += [c for c in outcome.results if c is not None]
+                failures += [
+                    f.with_payload(_zoo_payload(prune_by_key[f.key]))
+                    for f in outcome.failures
+                ]
+            else:
+                cells += list(outcome)
             wall = elapsed()
+        manifest_path = persist_manifest(
+            "build_zoo", failures, len(parents) + len(prune), scale, manifest_dir
+        )
+        if manifest_path is not None:
+            span.set(failed=len(failures), manifest=manifest_path)
     return GridTiming(
-        label="build_zoo", jobs=resolve_jobs(jobs), wall_seconds=wall, cells=cells
+        label="build_zoo",
+        jobs=resolve_jobs(jobs),
+        wall_seconds=wall,
+        cells=cells,
+        failures=failures,
+        manifest_path=manifest_path,
     ).record()

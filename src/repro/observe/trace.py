@@ -80,6 +80,22 @@ class TraceReport:
         total = hits + misses
         return None if total == 0 else hits / total
 
+    @property
+    def resilience(self) -> dict[str, float] | None:
+        """Fault-tolerance rollup: retries, crashes, timeouts, dead cells,
+        chaos injections, and degraded/resumed grids (``None`` when the run
+        recorded none of them)."""
+        rollup = {
+            "retries": self.counters.get("resilience.retry", 0),
+            "crashes": self.counters.get("resilience.crash", 0),
+            "timeouts": self.counters.get("resilience.timeout", 0),
+            "failed_cells": self.counters.get("resilience.failed", 0),
+            "chaos_injected": self.counters.get("chaos.injected", 0),
+            "degraded_grids": self.event_counts.get("degraded", 0),
+            "resumes": self.event_counts.get("resume", 0),
+        }
+        return rollup if any(rollup.values()) else None
+
     # ------------------------------------------------------------ output
     def to_dict(self) -> dict:
         out: dict[str, Any] = {
@@ -95,6 +111,8 @@ class TraceReport:
         }
         if self.cache_hit_rate is not None:
             out["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        if self.resilience is not None:
+            out["resilience"] = self.resilience
         return out
 
     def to_json(self) -> str:
@@ -125,6 +143,18 @@ class TraceReport:
                     f"  {name}: n={s['count']} mean={_fmt_num(s['mean'])} "
                     f"min={_fmt_num(s['min'])} max={_fmt_num(s['max'])}"
                 )
+        if self.resilience is not None:
+            r = self.resilience
+            lines.append(
+                "resilience: "
+                f"{_fmt_num(r['retries'])} retried, "
+                f"{_fmt_num(r['crashes'])} crashed, "
+                f"{_fmt_num(r['timeouts'])} timed out, "
+                f"{_fmt_num(r['failed_cells'])} cells failed, "
+                f"{_fmt_num(r['chaos_injected'])} chaos injections, "
+                f"{_fmt_num(r['degraded_grids'])} degraded grid(s), "
+                f"{_fmt_num(r['resumes'])} resume(s)"
+            )
         return "\n".join(lines)
 
 

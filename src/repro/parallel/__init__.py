@@ -5,9 +5,12 @@ The reproduction's dominant costs — training the model zoo and walking
 parallel.  This package provides the three layers every dispatch site
 composes:
 
-- :mod:`repro.parallel.pool` — a spawn-safe worker pool
+- :mod:`repro.parallel.pool` — a spawn-safe, fault-tolerant worker pool
   (:func:`parallel_map`, ``REPRO_NUM_WORKERS`` / ``--jobs`` resolution,
-  traceback-preserving error propagation, bit-identical serial fallback);
+  traceback-preserving error propagation, bit-identical serial fallback,
+  per-cell retry with backoff, deadlines with hung-worker replacement,
+  and ``on_error="collect"`` graceful degradation — see
+  :mod:`repro.resilience`);
 - :mod:`repro.parallel.locks` — per-artifact file locks and atomic
   write-temp-then-replace publication so concurrent workers never train
   the same artifact twice nor observe half-written archives;
@@ -19,6 +22,7 @@ from repro.parallel.locks import FileLock, LockTimeout, artifact_lock, atomic_wr
 from repro.parallel.pool import (
     JOBS_ENV,
     START_METHOD_ENV,
+    MapOutcome,
     WorkerError,
     WorkerPool,
     default_chunksize,
@@ -35,6 +39,7 @@ __all__ = [
     "atomic_write",
     "JOBS_ENV",
     "START_METHOD_ENV",
+    "MapOutcome",
     "WorkerError",
     "WorkerPool",
     "default_chunksize",

@@ -87,6 +87,13 @@ class FileLock:
                     if deadline is not None and time.monotonic() >= deadline:
                         raise LockTimeout(f"timed out waiting for {self.path}")
                     time.sleep(self.poll_interval)
+        # Fault injection: may hold the freshly acquired lock to starve
+        # concurrent waiters (no-op unless chaos is enabled).  Imported
+        # lazily — chaos pulls in repro.observe, which must stay
+        # importable before this module finishes loading.
+        from repro.resilience import chaos
+
+        chaos.on_lock_acquired(self.path)
         return self
 
     def release(self) -> None:

@@ -26,12 +26,26 @@ class CellTiming:
 
 @dataclass
 class GridTiming:
-    """Wall clock of one dispatched grid and its constituent cells."""
+    """Wall clock of one dispatched grid and its constituent cells.
+
+    A grid run with ``on_error="collect"`` also carries its dead cells:
+    ``failures`` holds the structured
+    :class:`~repro.resilience.failures.CellFailure` records and
+    ``manifest_path`` points at the persisted failure manifest (both
+    empty/None for a fully successful run).
+    """
 
     label: str
     jobs: int
     wall_seconds: float
     cells: list[CellTiming] = field(default_factory=list)
+    failures: list = field(default_factory=list)
+    manifest_path: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the grid completed without some of its cells."""
+        return bool(self.failures)
 
     @property
     def cell_seconds(self) -> float:
@@ -96,14 +110,18 @@ class GridTiming:
             computed=len(self.computed_cells),
             cache_hit_rate=self.cache_hit_rate,
             speedup=self.speedup,
+            failed=len(self.failures),
         )
         return self
 
     def summary(self) -> str:
+        degraded = (
+            f", {len(self.failures)} FAILED" if self.failures else ""
+        )
         return (
             f"{self.label}: {len(self.cells)} cells "
             f"({len(self.computed_cells)} computed, "
-            f"hit rate {self.cache_hit_rate:.0%}) in {self.wall_seconds:.2f}s "
+            f"hit rate {self.cache_hit_rate:.0%}{degraded}) in {self.wall_seconds:.2f}s "
             f"(jobs={self.jobs}, {self.throughput:.2f} cells/s, "
             f"speedup≈{self.speedup:.2f}x)"
         )

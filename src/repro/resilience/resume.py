@@ -1,0 +1,95 @@
+"""Resumable runs: recompute only the failed cells of a degraded grid.
+
+A degraded ``build_zoo`` persists a :class:`FailureManifest` whose
+entries carry a ``payload`` sufficient to reconstruct each failed cell
+(``{"kind": "zoo", "task": ..., "model": ..., "method": ...,
+"repetition": ..., "robust": ...}``).  :func:`resume_zoo` turns those
+payloads back into :class:`~repro.experiments.zoo.ZooSpec`\\ s and
+re-dispatches *only them* against the warm cache — surviving cells were
+already published, so their parents resolve as cache hits and the resume
+cost is exactly the failed work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.resilience.failures import FailureManifest
+
+
+def load_manifest(manifest: FailureManifest | str | Path) -> FailureManifest:
+    """Accept a manifest object or a path to one on disk."""
+    if isinstance(manifest, FailureManifest):
+        return manifest
+    return FailureManifest.load(manifest)
+
+
+def zoo_specs_from_manifest(manifest: FailureManifest | str | Path):
+    """The failed :class:`ZooSpec`\\ s recorded in ``manifest`` (deduplicated,
+    order-preserving).  Entries without a zoo payload are skipped."""
+    from repro.experiments.zoo import ZooSpec
+
+    manifest = load_manifest(manifest)
+    specs: dict = {}
+    for failure in manifest.failures:
+        payload = failure.payload or {}
+        if payload.get("kind") != "zoo":
+            continue
+        spec = ZooSpec(
+            task_name=payload["task"],
+            model_name=payload["model"],
+            method_name=payload.get("method"),
+            repetition=int(payload.get("repetition", 0)),
+            robust=bool(payload.get("robust", False)),
+        )
+        specs.setdefault(spec, None)
+    return list(specs)
+
+
+def resume_zoo(
+    manifest: FailureManifest | str | Path,
+    scale,
+    jobs: int | None = None,
+    *,
+    on_error: str = "collect",
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
+    start_method: str | None = None,
+):
+    """Re-dispatch the failed cells of a zoo build manifest.
+
+    Only the manifest's cells are passed to ``build_zoo``; everything
+    that survived the original run is untouched (its artifacts satisfy
+    the dependency probes as cache hits, visible in the run ledger's
+    ``zoo.cache_hit`` counter).  Raises ``ValueError`` when the manifest
+    has no resumable zoo cells or was produced under a different
+    experiment scale (its artifacts would not line up with the cache).
+    """
+    from repro import observe
+    from repro.experiments.zoo import build_zoo
+
+    manifest = load_manifest(manifest)
+    if manifest.scale_digest and manifest.scale_digest != scale.digest():
+        raise ValueError(
+            f"manifest {manifest.label!r} was recorded at scale digest "
+            f"{manifest.scale_digest}, not {scale.digest()}: resuming would "
+            "recompute against a different cache namespace"
+        )
+    specs = zoo_specs_from_manifest(manifest)
+    if not specs:
+        raise ValueError(
+            f"manifest {manifest.label!r} has no resumable zoo cells "
+            f"({len(manifest)} failures recorded)"
+        )
+    observe.event(
+        "resume", label=manifest.label, cells=len(specs), created=manifest.created
+    )
+    return build_zoo(
+        specs,
+        scale,
+        jobs=jobs,
+        start_method=start_method,
+        on_error=on_error,
+        max_retries=max_retries,
+        cell_timeout=cell_timeout,
+    )

@@ -44,6 +44,11 @@ def save_state(
         # temp name and break the atomic-replace pairing.
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **payload)
+    # Fault injection: may tear (truncate) the published archive, as a
+    # crashed copy or lost page would.  No-op unless chaos is enabled.
+    from repro.resilience import chaos
+
+    chaos.on_publish(path)
     return path
 
 

@@ -51,3 +51,47 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "PR/FR at commensurate accuracy" in out
         assert "train vs test distribution" in out
+
+
+class TestResilienceCLI:
+    def test_resume_missing_manifest_fails_cleanly(self, micro_env, capsys):
+        assert main(["zoo", "--resume", "/nonexistent/manifest.json"]) == 2
+        assert "no failure manifest" in capsys.readouterr().err
+
+    def test_resume_unreadable_manifest_fails_cleanly(
+        self, micro_env, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ torn mid-wri")
+        assert main(["zoo", "--resume", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_degraded_prints_manifest_pointer(self, capsys):
+        from repro.__main__ import _report_degraded
+        from repro.parallel import GridTiming
+        from repro.resilience import CellFailure
+
+        timing = GridTiming(
+            label="curve",
+            jobs=1,
+            wall_seconds=0.1,
+            failures=[
+                CellFailure(
+                    key="rep0", index=0, kind="exception",
+                    error_type="ChaosError", message="injected", attempts=2,
+                )
+            ],
+            manifest_path="/tmp/failures-curve.json",
+        )
+        _report_degraded(timing)
+        out = capsys.readouterr().out
+        assert "FAILED rep0: exception ChaosError: injected (2 attempts)" in out
+        assert "failure manifest: /tmp/failures-curve.json" in out
+
+    def test_report_degraded_silent_when_clean(self, capsys):
+        from repro.__main__ import _report_degraded
+        from repro.parallel import GridTiming
+
+        _report_degraded(GridTiming(label="curve", jobs=1, wall_seconds=0.1))
+        _report_degraded(None)
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,91 @@
+"""Acceptance: chaos kills a worker mid-build, the grid degrades to a
+manifest, and --resume recomputes exactly the failed cells — all of it
+verified against the run ledger's cache and resilience counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+from repro.observe import load_report
+from repro.resilience import FailureManifest, chaos, resume_zoo
+from repro.resilience.failures import KIND_CRASH
+
+pytestmark = pytest.mark.tier2
+
+
+@pytest.fixture
+def micro_zoo(tmp_path, monkeypatch):
+    from repro.experiments import SMOKE
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "zoo"))
+    monkeypatch.delenv(observe.DIR_ENV, raising=False)
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    monkeypatch.delenv(chaos.OWNER_ENV, raising=False)
+    chaos.disable()
+    scale = SMOKE.with_(
+        n_train=48, n_test=24, image_size=8, num_classes=4, base_width=2,
+        parent_epochs=1, retrain_epochs=0, target_ratios=(0.4,),
+        n_repetitions=1,
+    )
+    ledger = observe.configure(dir=tmp_path / "obs")
+    yield scale, ledger
+    chaos.disable()
+    observe.shutdown()
+
+
+class TestDegradeAndResume:
+    def test_worker_crash_degrades_then_resumes_warm(self, micro_zoo, tmp_path):
+        from repro.experiments import ZooSpec, build_zoo
+
+        scale, ledger = micro_zoo
+        specs = [ZooSpec("cifar", "resnet20", m, 0) for m in ("wt", "ft")]
+        ft_key = ZooSpec("cifar", "resnet20", "ft", 0).key(scale)
+
+        # Hard-kill (os._exit) every worker that picks up the ft cell.
+        # Workers are forked children, not the chaos owner, so the kill
+        # is a real mid-build crash the engine must detect and retry.
+        chaos.configure(crash_rate=1.0, seed=5, only_keys=("-ft-",))
+        degraded = build_zoo(
+            specs, scale, jobs=2, on_error="collect", max_retries=1
+        )
+        chaos.disable()
+
+        # Surviving cells completed: parent + wt published, only ft died.
+        assert degraded.degraded
+        assert len(degraded.cells) == 2
+        assert len(list((tmp_path / "zoo").glob("*.npz"))) == 2
+        (failure,) = degraded.failures
+        assert failure.key == ft_key
+        assert failure.kind == KIND_CRASH
+        assert failure.error_type == "WorkerCrashError"
+        assert failure.attempts == 2  # first run + one retry, both killed
+
+        manifest = FailureManifest.load(degraded.manifest_path)
+        assert manifest.keys == [ft_key]
+        assert manifest.failures[0].payload["method"] == "ft"
+
+        # Resume with chaos off: only the ft cell is recomputed; the
+        # parent dependency resolves as a warm cache hit.
+        resumed = resume_zoo(degraded.manifest_path, scale, jobs=1)
+        assert not resumed.degraded
+        parent_cell, ft_cell = resumed.cells
+        assert parent_cell.cached and not ft_cell.cached
+        assert len(list((tmp_path / "zoo").glob("*.npz"))) == 3
+
+        observe.shutdown()
+        report = load_report(ledger)
+        # Cache accounting across both runs: misses are parent + wt from
+        # the degraded build plus ft on resume; the single hit is the
+        # resume's parent probe — i.e. exactly the failed cell was redone.
+        assert report.counters.get("zoo.cache_hit", 0) == 1
+        assert report.counters.get("zoo.cache_miss", 0) == 3
+        # Resilience rollup: two crash detections (original + retry), one
+        # dead cell, one degraded grid, one resume.
+        rollup = report.resilience
+        assert rollup is not None
+        assert rollup["crashes"] == 2
+        assert rollup["failed_cells"] == 1
+        assert rollup["degraded_grids"] == 1
+        assert rollup["resumes"] == 1
+        assert "resilience:" in report.render()

@@ -129,6 +129,22 @@ class TestParallelMap:
         assert "bad item 3" in message
         assert "_boom" in excinfo.value.remote_traceback
 
+    def test_worker_error_pickle_roundtrip(self):
+        """Regression: pickling used to drop ``remote_traceback`` (the
+        default Exception reduction only re-passes ``args``), so a
+        WorkerError crossing a process boundary arrived without the
+        remote stack it exists to carry."""
+        import pickle
+
+        err = WorkerError(
+            "worker failed with ValueError: bad item 3",
+            "Traceback (most recent call last):\n  ...\nValueError: bad item 3",
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, WorkerError)
+        assert str(clone) == str(err)
+        assert clone.remote_traceback == err.remote_traceback
+
     @pytest.mark.tier2
     def test_spawn_start_method_safe(self):
         if "spawn" not in multiprocessing.get_all_start_methods():

@@ -1,0 +1,125 @@
+"""CellFailure records and the persisted FailureManifest."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    KIND_CRASH,
+    KIND_DEPENDENCY,
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    CellFailure,
+    FailureManifest,
+    default_manifest_path,
+)
+
+
+def _failure(key="cifar-resnet20-wt-rep0", kind=KIND_EXCEPTION, **over):
+    base = dict(
+        key=key,
+        index=3,
+        kind=kind,
+        error_type="ChaosError",
+        message="injected worker exception",
+        attempts=3,
+        remote_traceback="Traceback ...\nChaosError: injected",
+        retryable=True,
+        payload={"kind": "zoo", "task": "cifar", "model": "resnet20",
+                 "method": "wt", "repetition": 0, "robust": False},
+    )
+    base.update(over)
+    return CellFailure(**base)
+
+
+class TestCellFailure:
+    def test_describe_one_liner(self):
+        line = _failure().describe()
+        assert line == (
+            "cifar-resnet20-wt-rep0: exception ChaosError: "
+            "injected worker exception (3 attempts)"
+        )
+
+    def test_describe_singular_attempt(self):
+        assert "(1 attempt)" in _failure(attempts=1).describe()
+
+    def test_with_payload_returns_new_frozen_record(self):
+        f = _failure(payload=None)
+        g = f.with_payload({"kind": "zoo"})
+        assert f.payload is None and g.payload == {"kind": "zoo"}
+        assert g.key == f.key
+        with pytest.raises(Exception):  # frozen dataclass
+            f.key = "other"
+
+
+class TestFailureManifest:
+    def test_summary_breaks_down_kinds(self):
+        manifest = FailureManifest(
+            "build_zoo",
+            [
+                _failure("a", KIND_EXCEPTION),
+                _failure("b", KIND_CRASH),
+                _failure("c", KIND_CRASH),
+                _failure("d", KIND_TIMEOUT),
+                _failure("e", KIND_DEPENDENCY),
+            ],
+            total_cells=12,
+        )
+        assert len(manifest) == 5
+        assert manifest.keys == ["a", "b", "c", "d", "e"]
+        summary = manifest.summary()
+        assert summary.startswith("build_zoo: 5/12 cells failed")
+        assert "2 crash" in summary and "1 timeout" in summary
+
+    def test_created_auto_stamped(self):
+        assert FailureManifest("g").created  # non-empty ISO-ish stamp
+
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = FailureManifest(
+            "build_zoo",
+            [_failure(), _failure("other", KIND_TIMEOUT, error_type="TimeoutError")],
+            total_cells=7,
+            scale_digest="abc123",
+        )
+        path = manifest.save(tmp_path / "failures.json")
+        loaded = FailureManifest.load(path)
+        assert loaded.label == "build_zoo"
+        assert loaded.total_cells == 7
+        assert loaded.scale_digest == "abc123"
+        assert loaded.created == manifest.created
+        assert loaded.failures == manifest.failures  # incl. payload dicts
+
+    def test_load_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FailureManifest.load(tmp_path / "nope.json")
+
+    def test_load_garbage_raises_value_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ torn mid-wri")
+        with pytest.raises(ValueError, match="unreadable failure manifest"):
+            FailureManifest.load(bad)
+
+    def test_load_wrong_shape_raises_value_error(self, tmp_path):
+        for payload in (json.dumps([1, 2, 3]), json.dumps({"label": "x"})):
+            path = tmp_path / "shape.json"
+            path.write_text(payload)
+            with pytest.raises(ValueError, match="not a failure manifest"):
+                FailureManifest.load(path)
+
+    def test_extend_and_iter(self):
+        manifest = FailureManifest("g")
+        manifest.extend([_failure("a"), _failure("b")])
+        assert [f.key for f in manifest] == ["a", "b"]
+
+
+class TestDefaultManifestPath:
+    def test_label_sanitized_and_pid_suffixed(self, tmp_path):
+        import os
+
+        path = default_manifest_path(tmp_path, "grid/eval cells [wt]")
+        assert path.parent == tmp_path
+        assert path.name.startswith("failures-grid_eval_cells_")
+        assert path.name.endswith(f"-{os.getpid()}.json")
+        assert "/" not in path.name and " " not in path.name
