@@ -11,6 +11,9 @@ The library is a pure-NumPy stack:
 - :mod:`repro.pruning` — WT / SiPP / FT / PFP and PRUNERETRAIN (Alg. 1);
 - :mod:`repro.analysis` — functional distance, BackSelect, prune potential
   (Def. 1), excess error (Def. 2), overparameterization summaries;
+- :mod:`repro.infer` — the eval-mode inference engine: traced forward
+  plans (no autograd tape), BatchNorm folding, densified masked weights,
+  and the ``engine_for`` seam every study loop evaluates through;
 - :mod:`repro.experiments` — one harness entry per paper table/figure;
 - :mod:`repro.verify` — invariant checkers, differential oracles, and the
   ``REPRO_VERIFY=1`` runtime hooks guarding all of the above;
@@ -38,6 +41,7 @@ from repro import (
     analysis,
     autograd,
     data,
+    infer,
     models,
     nn,
     observe,
@@ -52,6 +56,7 @@ __all__ = [
     "analysis",
     "autograd",
     "data",
+    "infer",
     "models",
     "nn",
     "observe",

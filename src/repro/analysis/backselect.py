@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
+from repro.infer import engine_for
 from repro.nn.module import Module
 
 
@@ -25,15 +25,8 @@ def _confidences(
     model: Module, images: np.ndarray, class_index: int, batch_size: int
 ) -> np.ndarray:
     """Softmax confidence toward ``class_index`` for a stack of images."""
-    outs = []
-    with no_grad():
-        for start in range(0, len(images), batch_size):
-            logits = model(Tensor(images[start : start + batch_size])).data
-            shifted = logits - logits.max(axis=1, keepdims=True)
-            probs = np.exp(shifted)
-            probs /= probs.sum(axis=1, keepdims=True)
-            outs.append(probs[:, class_index])
-    return np.concatenate(outs)
+    probs = engine_for(model).predict_proba(images, batch_size=batch_size)
+    return probs[:, class_index]
 
 
 def backselect_order(
@@ -53,36 +46,37 @@ def backselect_order(
         raise ValueError(f"expected one (C, H, W) image, got shape {image.shape}")
     c, h, w = image.shape
     n_pixels = h * w
-    was_training = model.training
-    model.eval()
-    try:
-        if target_class is None:
-            with no_grad():
-                logits = model(Tensor(image[None])).data[0]
-            target_class = int(logits.argmax())
+    engine = engine_for(model)
+    if target_class is None:
+        target_class = int(engine.logits(image[None]).argmax())
 
-        remaining = list(range(n_pixels))
-        order: list[int] = []
-        current = image.copy().reshape(c, n_pixels)
-        while remaining:
-            # Candidate batch: current image with each remaining pixel masked.
-            candidates = np.repeat(
-                current.reshape(1, c, n_pixels), len(remaining), axis=0
+    remaining = list(range(n_pixels))
+    order: list[int] = []
+    current = image.copy().reshape(c, n_pixels)
+    while remaining:
+        # Candidates are generated one batch_size chunk at a time — the
+        # same boundaries the old full materialization was evaluated at,
+        # so the ordering is identical while peak memory stays at
+        # O(batch_size · C · H·W) instead of O((H·W)² · C) per step.
+        idx_all = np.asarray(remaining)
+        confs = []
+        for start in range(0, len(idx_all), batch_size):
+            idx = idx_all[start : start + batch_size]
+            cand = np.repeat(current.reshape(1, c, n_pixels), len(idx), axis=0)
+            cand[np.arange(len(idx)), :, idx] = 0.0
+            confs.append(
+                _confidences(
+                    model, cand.reshape(-1, c, h, w), target_class, batch_size
+                )
             )
-            idx = np.asarray(remaining)
-            candidates[np.arange(len(remaining)), :, idx] = 0.0
-            conf = _confidences(
-                model, candidates.reshape(-1, c, h, w), target_class, batch_size
-            )
-            take = min(pixels_per_step, len(remaining))
-            # Remove the pixels whose masking hurts confidence the least.
-            best = np.argsort(-conf, kind="stable")[:take]
-            for b in sorted(best.tolist(), reverse=True):
-                pixel = remaining.pop(b)
-                order.append(pixel)
-                current[:, pixel] = 0.0
-    finally:
-        model.train(was_training)
+        conf = np.concatenate(confs)
+        take = min(pixels_per_step, len(remaining))
+        # Remove the pixels whose masking hurts confidence the least.
+        best = np.argsort(-conf, kind="stable")[:take]
+        for b in sorted(best.tolist(), reverse=True):
+            pixel = remaining.pop(b)
+            order.append(pixel)
+            current[:, pixel] = 0.0
     return np.asarray(order, dtype=np.int64)
 
 
@@ -108,12 +102,7 @@ def confidence_on_informative_pixels(
     c, h, w = image.shape
     masked = image.reshape(c, -1).copy()
     masked[:, ~pixel_mask] = 0.0
-    was_training = model.training
-    model.eval()
-    try:
-        conf = _confidences(model, masked.reshape(1, c, h, w), true_class, batch_size)
-    finally:
-        model.train(was_training)
+    conf = _confidences(model, masked.reshape(1, c, h, w), true_class, batch_size)
     return float(conf[0])
 
 
@@ -131,6 +120,14 @@ def cross_model_confidence_matrix(
     on images reduced to the pixels model ``i`` found informative (selected
     toward model ``i``'s *predicted* class).  ``images`` are normalized.
     """
+    images = np.asarray(images)
+    labels = np.asarray(labels)
+    if len(images) == 0 or len(labels) == 0:
+        raise ValueError("cross_model_confidence_matrix requires a non-empty sample")
+    if len(images) != len(labels):
+        raise ValueError(
+            f"images and labels disagree: {len(images)} images vs {len(labels)} labels"
+        )
     m = len(models)
     heat = np.zeros((m, m))
     for img, label in zip(images, labels):

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.datasets import Dataset, Normalizer
+from repro.infer import engine_for
 from repro.nn.module import Module, preserve_state
 from repro.pruning.pipeline import PruneRun
 from repro.training.trainer import evaluate_model
@@ -28,11 +29,12 @@ def excess_error(
     normalizer: Normalizer | None = None,
 ) -> float:
     """``e(θ, D')``: error on ``shifted`` minus error on ``nominal``."""
+    engine = engine_for(model)
     err_shifted = evaluate_model(
-        model, shifted.images, shifted.labels, normalizer
+        engine, shifted.images, shifted.labels, normalizer
     )["error"]
     err_nominal = evaluate_model(
-        model, nominal.images, nominal.labels, normalizer
+        engine, nominal.images, nominal.labels, normalizer
     )["error"]
     return err_shifted - err_nominal
 
@@ -62,13 +64,17 @@ def excess_error_difference(
     if not ood_datasets:
         raise ValueError("need at least one o.o.d. dataset")
 
+    # Shared engine across the whole checkpoint × dataset sweep: compiled
+    # plans are reused, only their constants refresh per load_state_dict.
+    engine = engine_for(model)
+
     def errors_of(state: dict) -> tuple[float, float]:
         model.load_state_dict(state)
-        nom = evaluate_model(model, nominal.images, nominal.labels, normalizer)["error"]
+        nom = evaluate_model(engine, nominal.images, nominal.labels, normalizer)["error"]
         ood = float(
             np.mean(
                 [
-                    evaluate_model(model, d.images, d.labels, normalizer)["error"]
+                    evaluate_model(engine, d.images, d.labels, normalizer)["error"]
                     for d in ood_datasets
                 ]
             )

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
 from repro.data.noise import add_uniform_noise
+from repro.infer import engine_for
 from repro.nn.module import Module
 from repro.utils.rng import as_rng
 
@@ -30,15 +30,13 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
 def predictions_and_softmax(
     model: Module, images: np.ndarray, batch_size: int = 256
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Eval-mode predictions and softmax outputs for normalized ``images``."""
-    was_training = model.training
-    model.eval()
-    outs = []
-    with no_grad():
-        for start in range(0, len(images), batch_size):
-            outs.append(model(Tensor(images[start : start + batch_size])).data)
-    model.train(was_training)
-    logits = np.concatenate(outs)
+    """Eval-mode predictions and softmax outputs for normalized ``images``.
+
+    Forwards run through the :mod:`repro.infer` engine, whose fallback
+    restores the caller's train/eval mode in a ``finally`` — an exception
+    mid-eval can no longer leave ``model`` stuck in eval mode.
+    """
+    logits = engine_for(model).logits(images, batch_size=batch_size)
     probs = _softmax(logits)
     return logits.argmax(axis=1), probs
 

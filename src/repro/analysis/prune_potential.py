@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.data.datasets import Dataset, Normalizer
+from repro.infer import engine_for
 from repro.nn.module import Module, preserve_state
 from repro.pruning.pipeline import PruneRun
 from repro.training.trainer import evaluate_model
@@ -72,10 +73,15 @@ def evaluate_curve(
     (noise injection).
     """
 
+    # One engine serves the whole checkpoint sweep; each load_state_dict
+    # changes the model's state signature, which re-densifies the cached
+    # plans instead of recompiling them.
+    engine = engine_for(model)
+
     def error_of(state: dict) -> float:
         model.load_state_dict(state)
         return evaluate_model(
-            model, dataset.images, dataset.labels, normalizer, transform=transform
+            engine, dataset.images, dataset.labels, normalizer, transform=transform
         )["error"]
 
     with preserve_state(model):

@@ -1,0 +1,28 @@
+"""Fast no-grad inference: trace → compile → flat numpy forward plan.
+
+Entry point for consumers is :func:`engine_for`; the pieces underneath
+(:func:`trace`, :class:`CompiledPlan`) are exported for tests and the
+``repro.verify`` plan-parity oracle.
+"""
+
+from repro.infer.engine import (
+    ENV_VAR,
+    InferenceEngine,
+    enabled,
+    engine_for,
+)
+from repro.infer.plan import CompiledPlan, CompileError
+from repro.infer.trace import Graph, Node, TraceError, trace
+
+__all__ = [
+    "ENV_VAR",
+    "CompiledPlan",
+    "CompileError",
+    "Graph",
+    "InferenceEngine",
+    "Node",
+    "TraceError",
+    "enabled",
+    "engine_for",
+    "trace",
+]

@@ -1,0 +1,632 @@
+"""Compile a traced :class:`~repro.infer.trace.Graph` into a flat numpy plan.
+
+Compilation passes, in order:
+
+1. **BatchNorm rewrite** — every eval-mode ``batch_norm`` node either folds
+   into the producing ``conv2d``/``linear`` (when it is that node's only
+   consumer) or lowers to a per-channel affine ``x * scale + shift``; the
+   fold constants are computed in float64 and cast back once, keeping the
+   plan within the 1e-5 logit-parity budget.
+2. **Constant classification** — a node is constant iff none of its
+   ancestors is the input.  The entire masked-weight subgraph
+   (``weight * mask``) is constant, so densified weights are computed once
+   at refresh time instead of on every forward.
+3. **Dead-code elimination + scheduling** — a topological walk from the
+   output keeps only live nodes, orders the runtime steps, and attaches a
+   free list to each step so intermediate activations are dropped at their
+   last use.
+
+:meth:`CompiledPlan.refresh` re-resolves ``param``/``buffer`` leaves *by
+name* from the live model (``load_state_dict`` and ``set_buffer`` rebind
+the underlying arrays, so identity capture would go stale) and re-evaluates
+every constant node.  The engine calls it whenever the model's state
+signature changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import _im2col
+from repro.infer.trace import Graph, Node
+from repro.nn.module import Module
+
+
+class CompileError(RuntimeError):
+    """The traced graph cannot be lowered to a runtime plan."""
+
+
+# ------------------------------------------------------------ runtime kernels
+# Each kernel takes (args: list[np.ndarray | float], params: dict) and must
+# reproduce the corresponding autograd op's forward values exactly.
+
+
+def _k_add(args, params):
+    return args[0] + args[1]
+
+
+def _k_sub(args, params):
+    return args[0] - args[1]
+
+
+def _k_mul(args, params):
+    return args[0] * args[1]
+
+
+def _k_div(args, params):
+    return args[0] / args[1]
+
+
+def _k_matmul(args, params):
+    return args[0] @ args[1]
+
+
+def _k_maximum(args, params):
+    a, b = args
+    return np.where(a >= b, a, b)  # tie/NaN semantics of ops.maximum
+
+
+def _k_neg(args, params):
+    return -args[0]
+
+
+def _k_power(args, params):
+    return args[0] ** params["exponent"]
+
+
+def _k_exp(args, params):
+    return np.exp(args[0])
+
+
+def _k_log(args, params):
+    return np.log(args[0])
+
+
+def _k_sqrt(args, params):
+    return np.sqrt(args[0])
+
+
+def _k_relu(args, params):
+    x = args[0]
+    return np.where(x > 0, x, 0.0)  # matches ops.relu bit-for-bit
+
+
+def _k_tanh(args, params):
+    return np.tanh(args[0])
+
+
+def _k_sigmoid(args, params):
+    return 1.0 / (1.0 + np.exp(-args[0]))
+
+
+def _k_abs(args, params):
+    return np.abs(args[0])
+
+
+def _k_clip(args, params):
+    return np.clip(args[0], params["low"], params["high"])
+
+
+def _k_getitem(args, params):
+    return args[0][params["index"]]
+
+
+def _k_reshape(args, params):
+    return args[0].reshape(params["shape"])
+
+
+def _k_transpose(args, params):
+    return args[0].transpose(params["axes"])
+
+
+def _k_sum(args, params):
+    axis = _norm_axis(params["axis"], args[0].ndim)
+    return args[0].sum(axis=axis, keepdims=params["keepdims"])
+
+
+def _k_mean(args, params):
+    axis = _norm_axis(params["axis"], args[0].ndim)
+    return args[0].mean(axis=axis, keepdims=params["keepdims"])
+
+
+def _k_max(args, params):
+    axis = _norm_axis(params["axis"], args[0].ndim)
+    return args[0].max(axis=axis, keepdims=params["keepdims"])
+
+
+def _norm_axis(axis, ndim):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(ax % ndim for ax in axis)
+
+
+def _k_concatenate(args, params):
+    return np.concatenate(args, axis=params["axis"])
+
+
+def _k_pad2d(args, params):
+    x, p = args[0], params["padding"]
+    widths = [(0, 0)] * (x.ndim - 2) + [(p, p), (p, p)]
+    return np.pad(x, widths)
+
+
+def _k_conv2d(args, params):
+    """Convolution, routed per shape to the fastest of three schedules.
+
+    - tiny output maps: classic ``im2col`` gather + one big GEMM;
+    - stride-1 k×k (the hot path): pad once into a *channel-first*
+      scratch, then one contiguous-view GEMM per kernel offset with
+      ``out=`` into a reused buffer — no per-offset gather copies, at the
+      cost of ~(hp·wp)/(oh·ow) extra FLOPs on the padded map;
+    - everything else (1×1 / strided): one ``tensordot`` per offset over
+      strided views.
+
+    All three orderings stay within the fold-rounding parity budget; the
+    compile self-check validates whichever route this shape takes.
+    """
+    x, w = args[0], args[1]
+    f, c, kh, kw = w.shape
+    n, _, h, wi = x.shape
+    stride, padding = params["stride"], params["padding"]
+    hp, wp = h + 2 * padding, wi + 2 * padding
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    if oh * ow < 32:
+        cols, oh, ow = _im2col(x, kh, kw, stride, padding)
+        out = cols @ w.reshape(f, -1).T
+        if len(args) == 3:
+            out += args[2]
+        return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+    if stride == 1 and kh * kw > 1:
+        # Scratch buffers persist across runs (plans are shape-specific);
+        # the padded border is zeroed once and only the interior is
+        # rewritten.  The accumulator is NOT reused: it leaves the kernel
+        # as the node's output and may be returned to the caller.
+        scratch = params.get("_scratch")
+        if scratch is None or scratch[0].shape != (c, n, hp, wp):
+            scratch = (
+                np.zeros((c, n, hp, wp), dtype=x.dtype),
+                np.empty((f, n * hp * wp), dtype=x.dtype),
+            )
+            params["_scratch"] = scratch
+        xp, tbuf = scratch
+        xp[:, :, padding : padding + h, padding : padding + wi] = x.transpose(
+            1, 0, 2, 3
+        )
+        flat = xp.reshape(c, -1)
+        acc = np.zeros((f, n, oh, ow), dtype=x.dtype)
+        for dy in range(kh):
+            for dx in range(kw):
+                np.matmul(w[:, :, dy, dx], flat, out=tbuf)
+                acc += tbuf.reshape(f, n, hp, wp)[:, :, dy : dy + oh, dx : dx + ow]
+        if len(args) == 3:
+            acc += args[2].reshape(f, 1, 1, 1)
+        return acc.transpose(1, 0, 2, 3)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    acc = None
+    for dy in range(kh):
+        for dx in range(kw):
+            xs = x[:, :, dy : dy + stride * oh : stride, dx : dx + stride * ow : stride]
+            t = np.tensordot(w[:, :, dy, dx], xs, axes=([1], [1]))
+            if acc is None:
+                acc = t
+            else:
+                acc += t
+    if len(args) == 3:
+        acc += args[2].reshape(f, 1, 1, 1)
+    return acc.transpose(1, 0, 2, 3)
+
+
+def _k_conv2d_exact(args, params):
+    """Reference convolution: the module's im2col arithmetic, any shape.
+
+    ``CompiledPlan(exact=True)`` routes every conv through this so
+    differential oracles compare bit-identical floating-point orderings
+    instead of budgeting for the fast schedules' accumulation-order
+    rounding.
+    """
+    x, w = args[0], args[1]
+    f = w.shape[0]
+    n = x.shape[0]
+    cols, oh, ow = _im2col(
+        x, w.shape[2], w.shape[3], params["stride"], params["padding"]
+    )
+    out = cols @ w.reshape(f, -1).T
+    if len(args) == 3:
+        out += args[2]
+    return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+
+def _k_batch_norm_exact(args, params):
+    """Reference eval BatchNorm: the module's arithmetic, same rounding.
+
+    Only used by ``CompiledPlan(exact=True)``, which skips the BN rewrite
+    entirely — ``bn_affine``'s refactored ``x·scale + shift`` is algebraically
+    identical but rounds differently.
+    """
+    x, gamma, beta, mean, var = args
+    shape = (1, -1, 1, 1) if params["ndim"] == 4 else (1, -1)
+    invstd = 1.0 / np.sqrt(var + params["eps"])
+    xhat = (x - mean.reshape(shape)) * invstd.reshape(shape)
+    return gamma.reshape(shape) * xhat + beta.reshape(shape)
+
+
+def _k_linear(args, params):
+    out = args[0] @ args[1].T
+    if len(args) == 3:
+        out = out + args[2]
+    return out
+
+
+def _k_max_pool2d(args, params):
+    x, k, s = args[0], params["kernel"], params["stride"]
+    windows = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(2, 3))
+    return windows[:, :, ::s, ::s].max(axis=(-2, -1))
+
+
+def _k_avg_pool2d(args, params):
+    x, k, s = args[0], params["kernel"], params["stride"]
+    windows = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(2, 3))
+    return windows[:, :, ::s, ::s].mean(axis=(-2, -1))
+
+
+def _k_global_avg_pool2d(args, params):
+    return args[0].mean(axis=(2, 3))
+
+
+def _k_upsample_nearest2d(args, params):
+    s = params["scale"]
+    return args[0].repeat(s, axis=2).repeat(s, axis=3)
+
+
+def _k_softmax(args, params):
+    x, axis = args[0], params["axis"]
+    e = np.exp(x - x.max(axis=axis, keepdims=True))
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _k_log_softmax(args, params):
+    x, axis = args[0], params["axis"]
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+# BatchNorm fold constants.  Computed in float64 and cast back to the host
+# dtype once, so the folded path stays within the logit-parity budget even
+# for ill-conditioned running statistics.
+
+
+def _k_bn_scale(args, params):
+    gamma, var = args
+    return np.asarray(gamma, dtype=np.float64) / np.sqrt(
+        np.asarray(var, dtype=np.float64) + params["eps"]
+    )
+
+
+def _k_bn_fold_weight(args, params):
+    w, scale = args
+    expand = (slice(None),) + (None,) * (w.ndim - 1)
+    return (np.asarray(w, dtype=np.float64) * scale[expand]).astype(w.dtype)
+
+
+def _k_bn_fold_bias(args, params):
+    beta, mean, scale = args[0], args[1], args[2]
+    bias = args[3] if len(args) == 4 else 0.0
+    folded = np.asarray(beta, dtype=np.float64) + (
+        np.asarray(bias, dtype=np.float64) - np.asarray(mean, dtype=np.float64)
+    ) * scale
+    return folded.astype(np.asarray(beta).dtype)
+
+
+def _k_bn_affine_scale(args, params):
+    return args[0].astype(np.float32).reshape(params["shape"])
+
+
+def _k_bn_affine_shift(args, params):
+    beta, mean, scale = args
+    shift = np.asarray(beta, dtype=np.float64) - np.asarray(mean, dtype=np.float64) * scale
+    return shift.astype(np.float32).reshape(params["shape"])
+
+
+def _k_bn_affine(args, params):
+    x, scale, shift = args
+    return x * scale + shift
+
+
+KERNELS = {
+    "add": _k_add,
+    "sub": _k_sub,
+    "mul": _k_mul,
+    "div": _k_div,
+    "matmul": _k_matmul,
+    "maximum": _k_maximum,
+    "neg": _k_neg,
+    "power": _k_power,
+    "exp": _k_exp,
+    "log": _k_log,
+    "sqrt": _k_sqrt,
+    "relu": _k_relu,
+    "tanh": _k_tanh,
+    "sigmoid": _k_sigmoid,
+    "abs": _k_abs,
+    "clip": _k_clip,
+    "getitem": _k_getitem,
+    "reshape": _k_reshape,
+    "transpose": _k_transpose,
+    "sum": _k_sum,
+    "mean": _k_mean,
+    "max": _k_max,
+    "concatenate": _k_concatenate,
+    "pad2d": _k_pad2d,
+    "conv2d": _k_conv2d,
+    "linear": _k_linear,
+    "max_pool2d": _k_max_pool2d,
+    "avg_pool2d": _k_avg_pool2d,
+    "global_avg_pool2d": _k_global_avg_pool2d,
+    "upsample_nearest2d": _k_upsample_nearest2d,
+    "softmax": _k_softmax,
+    "log_softmax": _k_log_softmax,
+    "bn_scale": _k_bn_scale,
+    "bn_fold_weight": _k_bn_fold_weight,
+    "bn_fold_bias": _k_bn_fold_bias,
+    "bn_affine_scale": _k_bn_affine_scale,
+    "bn_affine_shift": _k_bn_affine_shift,
+    "bn_affine": _k_bn_affine,
+}
+
+_LEAVES = ("input", "param", "buffer", "value")
+
+
+# ----------------------------------------------------------- compile passes
+
+
+def _runtime_flags(nodes: list[Node], input_index: int) -> list[bool]:
+    """``runtime[i]`` — node i (transitively) depends on the input."""
+    runtime = [False] * len(nodes)
+    for i, node in enumerate(nodes):
+        if i == input_index:
+            runtime[i] = True
+        elif node.op not in _LEAVES:
+            runtime[i] = any(runtime[j] for j in node.inputs)
+    return runtime
+
+
+def _rewrite_batch_norm(graph: Graph, fold_bn: bool) -> tuple[list[Node], int]:
+    """Lower every ``batch_norm`` node; returns (nodes, n_folded).
+
+    Folding requires the normalized conv/linear output to have no other
+    consumer (a residual tap must still see the *unnormalized* value).
+    New constant nodes are appended at the end; downstream passes order
+    nodes topologically, not by index.
+    """
+    nodes = [Node(n.op, n.inputs, dict(n.params)) for n in graph.nodes]
+    runtime = _runtime_flags(nodes, graph.input)
+    consumers: dict[int, int] = {}
+    for node in nodes:
+        for j in node.inputs:
+            consumers[j] = consumers.get(j, 0) + 1
+    consumers[graph.output] = consumers.get(graph.output, 0) + 1
+
+    def append(node: Node) -> int:
+        nodes.append(node)
+        return len(nodes) - 1
+
+    n_folded = 0
+    for i in range(len(graph.nodes)):
+        node = nodes[i]
+        if node.op != "batch_norm":
+            continue
+        xi, gi, bi, mi, vi = node.inputs
+        producer = nodes[xi]
+        scale = append(Node("bn_scale", (gi, vi), {"eps": node.params["eps"]}))
+        can_fold = (
+            fold_bn
+            and producer.op in ("conv2d", "linear")
+            and consumers.get(xi, 0) == 1
+            and runtime[xi]
+        )
+        if can_fold:
+            folded_w = append(Node("bn_fold_weight", (producer.inputs[1], scale)))
+            bias_in = (bi, mi, scale) + producer.inputs[2:3]
+            folded_b = append(Node("bn_fold_bias", bias_in))
+            nodes[i] = Node(
+                producer.op,
+                (producer.inputs[0], folded_w, folded_b),
+                dict(producer.params),
+            )
+            n_folded += 1
+        else:
+            shape = (1, -1, 1, 1) if node.params["ndim"] == 4 else (1, -1)
+            sc = append(Node("bn_affine_scale", (scale,), {"shape": shape}))
+            sh = append(Node("bn_affine_shift", (bi, mi, scale), {"shape": shape}))
+            nodes[i] = Node("bn_affine", (xi, sc, sh))
+    return nodes, n_folded
+
+
+def _toposort(nodes: list[Node], output: int) -> list[int]:
+    """Live node indices in dependency order (iterative post-order DFS)."""
+    order: list[int] = []
+    seen: set[int] = set()
+    stack: list[tuple[int, bool]] = [(output, False)]
+    while stack:
+        index, done = stack.pop()
+        if done:
+            order.append(index)
+            continue
+        if index in seen:
+            continue
+        seen.add(index)
+        stack.append((index, True))
+        for j in nodes[index].inputs:
+            if j not in seen:
+                stack.append((j, False))
+    return order
+
+
+class CompiledPlan:
+    """An executable eval-mode forward for one input shape/dtype.
+
+    ``run`` streams one batch through the runtime steps; all constants
+    (densified masked weights, folded BN tensors) live in the slot table
+    and are only recomputed by :meth:`refresh`.
+
+    ``exact=True`` builds a reference plan for differential oracles: convs
+    take the module's own im2col route, BatchNorm stays unrewritten
+    (``fold_bn`` is ignored), and in-place rewrites are disabled, so the
+    plan replays the module's floating-point arithmetic bit for bit.
+    """
+
+    def __init__(self, graph: Graph, fold_bn: bool = True, exact: bool = False):
+        _exact_kernels = {"conv2d": _k_conv2d_exact, "batch_norm": _k_batch_norm_exact}
+        if exact:
+            # Reference mode keeps batch_norm nodes as traced; the rewrite's
+            # x·scale + shift form is algebraically equal but rounds
+            # differently.
+            nodes = [Node(n.op, n.inputs, dict(n.params)) for n in graph.nodes]
+            self.n_folded = 0
+        else:
+            nodes, self.n_folded = _rewrite_batch_norm(graph, fold_bn)
+        order = _toposort(nodes, graph.output)
+        live = set(order)
+        if graph.input not in live:
+            raise CompileError("plan output does not depend on the input")
+        runtime = _runtime_flags(nodes, graph.input)
+
+        for i in order:
+            op = nodes[i].op
+            if op in _LEAVES or op in KERNELS or (exact and op in _exact_kernels):
+                continue
+            raise CompileError(f"no runtime kernel for op {op!r}")
+
+        self._nodes = nodes
+        self._input = graph.input
+        self._output = graph.output
+        self._const_order = [
+            i for i in order if not runtime[i] and nodes[i].op != "input"
+        ]
+        # Last-use bookkeeping: free each runtime intermediate right after
+        # the step that consumes it last (the output survives the sweep).
+        runtime_steps = [
+            i for i in order if runtime[i] and nodes[i].op not in _LEAVES
+        ]
+        last_use: dict[int, int] = {}
+        for step in runtime_steps:
+            for j in self._nodes[step].inputs:
+                if runtime[j]:
+                    last_use[j] = step
+        frees_at: dict[int, list[int]] = {}
+        for value, step in last_use.items():
+            if value not in (self._output, self._input):
+                frees_at.setdefault(step, []).append(value)
+        # Slots touching a view-producing op may alias another slot's
+        # buffer, so they are never written in place.
+        aliased: set[int] = set()
+        for i in runtime_steps:
+            if nodes[i].op in ("reshape", "transpose", "getitem"):
+                aliased.add(i)
+                aliased.update(nodes[i].inputs)
+        self._steps = []
+        for i in runtime_steps:
+            op = nodes[i].op
+            frees = tuple(frees_at.get(i, ()))
+            # In-place candidate: an elementwise op may overwrite an input
+            # buffer that dies at this very step and cannot be aliased.
+            inplace = None
+            if not exact and op in ("relu", "add"):
+                for pos, j in enumerate(nodes[i].inputs):
+                    if j in frees and j not in aliased and runtime[j]:
+                        inplace = pos
+                        break
+            kernel = (
+                _exact_kernels[op]
+                if exact and op in _exact_kernels
+                else KERNELS[op]
+            )
+            self._steps.append(
+                (kernel, nodes[i].inputs, i, nodes[i].params, frees,
+                 op if inplace is not None else None, inplace)
+            )
+        self._runtime_slots = [i for i in runtime_steps if i != self._output]
+        self._slots: list = [None] * len(nodes)
+        self.op_counts: dict[str, int] = {}
+        for i in runtime_steps:
+            op = nodes[i].op
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        # Set by the engine: the model-state signature the constants were
+        # last refreshed against.
+        self.signature: object = None
+
+    @property
+    def n_steps(self) -> int:
+        return len(self._steps)
+
+    def refresh(self, model: Module) -> None:
+        """Recompute every constant slot from ``model``'s current state.
+
+        Leaf slots are *copied*, never aliased: a plan must snapshot the
+        state it was refreshed against.  Aliasing the model's live arrays
+        looks cheaper but breaks under the mutate-then-restore pattern —
+        an in-place update drifts the aliased array, and a later
+        ``load_state_dict`` *rebinds* the model's parameters to fresh
+        arrays with the original contents, so the engine's content
+        signature matches the refresh-time state while the plan still
+        points at the drifted orphans.
+        """
+        params = {name: p.data for name, p in model.named_parameters()}
+        buffers = dict(model.named_buffers())
+        slots = self._slots
+        for i in self._const_order:
+            node = self._nodes[i]
+            if node.op == "param":
+                try:
+                    slots[i] = params[node.params["name"]].copy()
+                except KeyError:
+                    raise CompileError(
+                        f"model has no parameter {node.params['name']!r}"
+                    ) from None
+            elif node.op == "buffer":
+                try:
+                    slots[i] = np.asarray(buffers[node.params["name"]]).copy()
+                except KeyError:
+                    raise CompileError(
+                        f"model has no buffer {node.params['name']!r}"
+                    ) from None
+            elif node.op == "value":
+                value = node.params["value"]
+                slots[i] = value.copy() if isinstance(value, np.ndarray) else value
+            else:
+                slots[i] = KERNELS[node.op](
+                    [slots[j] for j in node.inputs], node.params
+                )
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the plan on one batch (constants must be refreshed)."""
+        slots = self._slots
+        slots[self._input] = x
+        try:
+            for kernel, inputs, out_index, params, frees, iop, ipos in self._steps:
+                args = [slots[j] for j in inputs]
+                if iop == "relu":
+                    out = np.maximum(args[0], 0.0, out=args[0])
+                elif (
+                    iop == "add"
+                    and isinstance(args[0], np.ndarray)
+                    and isinstance(args[1], np.ndarray)
+                    and args[0].shape == args[1].shape
+                    and args[0].dtype == args[1].dtype
+                ):
+                    out = np.add(args[0], args[1], out=args[ipos])
+                else:
+                    out = kernel(args, params)
+                slots[out_index] = out
+                for j in frees:
+                    slots[j] = None
+            return slots[self._output]
+        finally:
+            slots[self._input] = None
+            for i in self._runtime_slots:
+                slots[i] = None
+            slots[self._output] = None

@@ -13,7 +13,12 @@ from repro.models.vgg import VGG, vgg16
 from repro.models.densenet import DenseNet, densenet22
 from repro.models.wideresnet import WideResNet, wrn16_8
 from repro.models.segnet import SegNet, deeplab_small
-from repro.models.registry import available_models, build_model, register_model
+from repro.models.registry import (
+    available_models,
+    build_model,
+    register_model,
+    unregister_model,
+)
 
 __all__ = [
     "MLP",
@@ -32,5 +37,6 @@ __all__ = [
     "deeplab_small",
     "build_model",
     "register_model",
+    "unregister_model",
     "available_models",
 ]

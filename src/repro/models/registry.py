@@ -14,6 +14,16 @@ def register_model(name: str, factory: Callable[..., Module]) -> None:
     _REGISTRY[name] = factory
 
 
+def unregister_model(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent).
+
+    Registry-wide sweeps (``oracle_registry_plan_parity``, zoo builds)
+    iterate :func:`available_models`, so transient registrations must be
+    withdrawn once their caller is done with them.
+    """
+    _REGISTRY.pop(name, None)
+
+
 def available_models() -> list[str]:
     """Names of all registered model factories."""
     return sorted(_REGISTRY)

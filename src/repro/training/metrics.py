@@ -9,6 +9,40 @@ from __future__ import annotations
 import numpy as np
 
 
+def accuracy_from_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy from raw logits.
+
+    Accepts classification logits ``(N, K)`` with labels ``(N,)`` or dense
+    segmentation logits ``(N, K, H, W)`` with labels ``(N, H, W)``; the
+    class axis is 1 in both layouts.
+    """
+    return float((np.asarray(logits).argmax(axis=1) == np.asarray(labels)).mean())
+
+
+def cross_entropy_from_logits(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross entropy from raw logits, matching ``nn.CrossEntropyLoss``.
+
+    Reproduces the autograd loss bit-for-bit (same shift/logsumexp order
+    and the same ``(N, K, H, W) -> (N*H*W, K)`` dense flattening) so the
+    no-grad eval path reports identical losses.
+    """
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim == 4:
+        n, k, h, w = logits.shape
+        logits = logits.transpose(0, 2, 3, 1).reshape(n * h * w, k)
+        targets = targets.reshape(-1)
+    if targets.ndim != 1 or logits.ndim != 2:
+        raise ValueError(
+            f"expected logits (N, K) and targets (N,), got {logits.shape}, {targets.shape}"
+        )
+    targets = targets.astype(np.int64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logprobs = shifted - logsumexp
+    return float(-logprobs[np.arange(logits.shape[0]), targets].mean())
+
+
 def confusion_matrix(
     predictions: np.ndarray, targets: np.ndarray, num_classes: int
 ) -> np.ndarray:

@@ -16,7 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro import nn, observe
-from repro.autograd import Tensor, no_grad
+from repro.autograd import Tensor
 from repro.data.datasets import Dataset, Normalizer, TaskSuite
 from repro.data.augmentation import random_crop_flip
 from repro.data.loaders import iterate_minibatches
@@ -66,35 +66,39 @@ def evaluate_model(
     """Evaluate a model; returns ``{"accuracy", "error", "loss"}``.
 
     ``transform`` is applied to the *normalized* inputs, which is where the
-    paper injects ℓ∞ noise.
+    paper injects ℓ∞ noise.  Forwards go through the :mod:`repro.infer`
+    engine (compiled no-grad plans with a plain ``Module`` fallback);
+    ``model`` may be a :class:`~repro.infer.InferenceEngine` directly.
+    The chunking below keeps the historical batch boundaries so per-batch
+    ``transform`` randomness draws exactly as before.
     """
-    from repro.training.metrics import confusion_matrix, per_class_iou
+    from repro.infer import engine_for
+    from repro.training.metrics import (
+        accuracy_from_logits,
+        confusion_matrix,
+        cross_entropy_from_logits,
+        per_class_iou,
+    )
 
-    was_training = model.training
-    model.eval()
-    loss_fn = nn.CrossEntropyLoss()
+    engine = engine_for(model)
     total, correct, loss_sum = 0, 0.0, 0.0
     confusion: np.ndarray | None = None
-    with no_grad():
-        for start in range(0, len(images), batch_size):
-            x = images[start : start + batch_size]
-            y = labels[start : start + batch_size]
-            if normalizer is not None:
-                x = normalizer(x)
-            if transform is not None:
-                x = transform(x)
-            logits = model(Tensor(x))
-            n = len(x)
-            loss_sum += loss_fn(logits, y).item() * n
-            correct += _accuracy(logits.data, y) * n
-            total += n
-            if logits.ndim == 4:  # dense prediction: also track IoU
-                num_classes = logits.shape[1]
-                batch_conf = confusion_matrix(
-                    logits.data.argmax(axis=1), y, num_classes
-                )
-                confusion = batch_conf if confusion is None else confusion + batch_conf
-    model.train(was_training)
+    for start in range(0, len(images), batch_size):
+        x = images[start : start + batch_size]
+        y = labels[start : start + batch_size]
+        if normalizer is not None:
+            x = normalizer(x)
+        if transform is not None:
+            x = transform(x)
+        logits = engine.logits(x, batch_size=batch_size)
+        n = len(x)
+        loss_sum += cross_entropy_from_logits(logits, y) * n
+        correct += accuracy_from_logits(logits, y) * n
+        total += n
+        if logits.ndim == 4:  # dense prediction: also track IoU
+            num_classes = logits.shape[1]
+            batch_conf = confusion_matrix(logits.argmax(axis=1), y, num_classes)
+            confusion = batch_conf if confusion is None else confusion + batch_conf
     accuracy = correct / total
     out = {"accuracy": accuracy, "error": 1.0 - accuracy, "loss": loss_sum / total}
     if confusion is not None:

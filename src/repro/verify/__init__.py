@@ -9,8 +9,8 @@ checks the bookkeeping instead of trusting it:
   obeys (``w == w * mask``, sparsity and FLOP accounting, structured shape
   propagation, curve monotonicity);
 - :mod:`repro.verify.oracles` — the same answer computed two ways must
-  agree (masked vs baked forward, save/load round-trips, fixed-seed
-  determinism, ``jobs=1`` ≡ ``jobs=N``);
+  agree (masked vs baked forward, compiled-plan vs module logits,
+  save/load round-trips, fixed-seed determinism, ``jobs=1`` ≡ ``jobs=N``);
 - :mod:`repro.verify.artifacts` — architecture-free audits of cached zoo
   artifacts, behind ``python -m repro verify <path>``;
 - :mod:`repro.verify.runtime` — opt-in ``REPRO_VERIFY=1`` hooks that fail
@@ -32,6 +32,8 @@ from repro.verify.invariants import (
 from repro.verify.oracles import (
     oracle_jobs_equivalence,
     oracle_masked_forward,
+    oracle_plan_parity,
+    oracle_registry_plan_parity,
     oracle_retrain_determinism,
     oracle_save_load_roundtrip,
     state_mismatches,
@@ -63,6 +65,8 @@ __all__ = [
     "mask_pairs",
     "oracle_jobs_equivalence",
     "oracle_masked_forward",
+    "oracle_plan_parity",
+    "oracle_registry_plan_parity",
     "oracle_retrain_determinism",
     "oracle_save_load_roundtrip",
     "state_mismatches",

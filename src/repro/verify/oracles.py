@@ -85,6 +85,104 @@ def oracle_masked_forward(
     return report
 
 
+def oracle_plan_parity(
+    model: Module,
+    inputs: np.ndarray,
+    report: VerificationReport | None = None,
+    atol: float = 1e-5,
+) -> VerificationReport:
+    """Compiled inference-plan logits ≡ eval-mode ``Module`` logits.
+
+    Two differential checks against the module forward:
+
+    - ``plan_parity_unfolded`` — a reference plan (no BatchNorm folding,
+      module-exact conv route, no in-place rewrites) must agree within
+      ``atol`` max-abs-diff — empirically it is bit-exact;
+    - ``plan_parity_folded`` — the production engine (BN folded, masked
+      weights densified) must agree within ``atol + 1e-5·max(1, ‖logits‖∞)``:
+      folding perturbs weights before the conv reduction, so its rounding
+      rides on the largest co-activation.  This check also fails if the
+      engine silently fell back to the module path instead of compiling.
+    """
+    from repro.infer import CompiledPlan, CompileError, InferenceEngine, TraceError, trace
+
+    report = report if report is not None else VerificationReport(subject="model")
+    inputs = np.asarray(inputs, dtype=np.float32)
+    want = _forward(model, inputs)
+    scale = float(np.abs(want).max())
+    try:
+        graph = trace(model, inputs)
+        plan = CompiledPlan(graph, fold_bn=False, exact=True)
+        plan.refresh(model)
+        diff = float(np.abs(plan.run(inputs) - want).max())
+        report.add(
+            "plan_parity_unfolded",
+            diff <= atol,
+            detail="" if diff <= atol else f"unfolded plan differs by {diff:.3e}",
+            context={"max_abs_diff": diff, "atol": atol},
+        )
+    except (TraceError, CompileError) as exc:
+        report.add("plan_parity_unfolded", False, detail=f"plan compilation failed: {exc!r}")
+        return report
+    engine = InferenceEngine(model, batch_size=len(inputs))
+    folded = engine.logits(inputs)
+    compiled = engine.compiled_for(inputs)
+    bound = atol + 1e-5 * max(1.0, scale)
+    diff = float(np.abs(folded - want).max())
+    ok = compiled and diff <= bound
+    report.add(
+        "plan_parity_folded",
+        ok,
+        detail=""
+        if ok
+        else ("engine fell back to module forward" if not compiled
+              else f"folded engine differs by {diff:.3e} (bound {bound:.3e})"),
+        context={"max_abs_diff": diff, "bound": bound, "compiled": compiled},
+    )
+    return report
+
+
+def oracle_registry_plan_parity(
+    batch: int = 4, atol: float = 1e-5
+) -> VerificationReport:
+    """Plan-vs-module parity for every registry model, pruned and unpruned.
+
+    Each architecture is built at its registry default width, checked
+    fresh, then checked again after zeroing the bottom half of every
+    prunable layer's weights (median-|w| masks) — the state the study
+    loops actually evaluate in.
+    """
+    from repro.models.registry import available_models, build_model
+    from repro.nn.prunable import PrunableWeightMixin
+
+    rng = np.random.default_rng(0)
+    reports: list[VerificationReport] = []
+    for name in available_models():
+        model = build_model(name, rng=np.random.default_rng(3))
+        shape = (batch, 3, 4, 4) if name == "mlp" else (batch, 3, 16, 16)
+        inputs = rng.standard_normal(shape).astype(np.float32)
+        for variant in ("unpruned", "pruned"):
+            if variant == "pruned":
+                for module in model.modules():
+                    if isinstance(module, PrunableWeightMixin):
+                        weight = module.weight.data
+                        cut = np.median(np.abs(weight))
+                        module.set_weight_mask(
+                            (np.abs(weight) > cut).astype(np.float32)
+                        )
+            sub = VerificationReport(subject=f"{name}[{variant}]")
+            try:
+                oracle_plan_parity(model, inputs, report=sub, atol=atol)
+            except Exception as exc:  # noqa: BLE001 — one broken entry
+                # (e.g. a leaked custom registration that cannot run the
+                # probe shape) must not abort the whole registry audit.
+                sub.add("plan_parity", False, detail=f"probe crashed: {exc!r}")
+            reports.append(sub)
+    from repro.verify.report import merge_reports
+
+    return merge_reports("registry plan parity", reports)
+
+
 def oracle_save_load_roundtrip(
     arrays: Mapping[str, np.ndarray],
     meta: Mapping[str, Any] | None = None,

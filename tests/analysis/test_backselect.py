@@ -67,6 +67,47 @@ class TestBackselectOrder:
         backselect_order(model, rng.random((3, 4, 4)).astype(np.float32), pixels_per_step=8)
         assert model.training
 
+    def test_chunked_candidates_match_full_materialization(self, rng, monkeypatch):
+        """Per-chunk candidate generation must reproduce the old full-set order.
+
+        The reference below materializes every candidate at once (the old
+        O((H·W)²·C) path) and evaluates it at the same batch boundaries.
+        Run through the plain module path so both sides chunk identically.
+        """
+        monkeypatch.setenv("REPRO_INFER", "0")
+        from repro.analysis.backselect import _confidences
+
+        model = PixelReader([3, 9])
+        image = rng.random((3, 4, 4)).astype(np.float32)
+        c, h, w = image.shape
+        n_pixels = h * w
+        batch_size = 6  # forces 3 chunks over the initial 16 candidates
+        target = 0
+
+        remaining = list(range(n_pixels))
+        order = []
+        current = image.copy().reshape(c, n_pixels)
+        while remaining:
+            cand = np.repeat(
+                current.reshape(1, c, n_pixels), len(remaining), axis=0
+            )
+            cand[np.arange(len(remaining)), :, remaining] = 0.0
+            conf = _confidences(
+                model, cand.reshape(-1, c, h, w), target, batch_size
+            )
+            best = np.argsort(-conf, kind="stable")[:2]
+            for b in sorted(best.tolist(), reverse=True):
+                pixel = remaining.pop(b)
+                order.append(pixel)
+                current[:, pixel] = 0.0
+        reference = np.asarray(order, dtype=np.int64)
+
+        got = backselect_order(
+            model, image, target_class=target,
+            pixels_per_step=2, batch_size=batch_size,
+        )
+        np.testing.assert_array_equal(got, reference)
+
 
 class TestInformativeMask:
     def test_keeps_top_fraction(self):
@@ -112,3 +153,16 @@ class TestCrossModelMatrix:
         heat = cross_model_confidence_matrix([m, m], images, labels, keep_fraction=0.25, pixels_per_step=8)
         assert heat[0, 0] == pytest.approx(heat[1, 1])
         assert heat[0, 1] == pytest.approx(heat[0, 0])
+
+    def test_empty_sample_raises(self, rng):
+        """Regression: an empty sample used to divide 0/0 into a NaN heatmap."""
+        models = [PixelReader([0, 5])]
+        empty = np.empty((0, 3, 4, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="non-empty"):
+            cross_model_confidence_matrix(models, empty, np.empty((0,)))
+
+    def test_length_mismatch_raises(self, rng):
+        models = [PixelReader([0, 5])]
+        images = rng.random((3, 3, 4, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="3 images vs 2 labels"):
+            cross_model_confidence_matrix(models, images, np.array([0, 1]))

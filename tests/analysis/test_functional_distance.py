@@ -37,6 +37,20 @@ class TestPredictionsAndSoftmax:
         predictions_and_softmax(model, images)
         assert model.training
 
+    def test_exception_mid_eval_restores_mode(self, images):
+        """Regression: a forward that raises must not leave the model in eval."""
+        from repro import nn
+
+        class Boom(nn.Module):
+            def forward(self, x):
+                raise RuntimeError("boom")
+
+        model = Boom()
+        model.train()
+        with pytest.raises(RuntimeError):
+            predictions_and_softmax(model, images)
+        assert model.training
+
 
 class TestNoiseSimilarity:
     def test_identical_models_perfect_match(self, images):

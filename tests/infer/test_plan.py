@@ -1,0 +1,69 @@
+"""Compiled plans: BN folding numerics, the exact reference mode, bn_affine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.infer import CompiledPlan, trace
+
+from tests.conftest import make_tiny_cnn
+from tests.infer.test_engine import assert_parity, module_logits
+
+
+@pytest.fixture
+def images(rng):
+    return rng.standard_normal((8, 3, 8, 8)).astype(np.float32)
+
+
+def randomize_bn_stats(model, rng):
+    """Non-trivial running stats so folding errors cannot cancel out."""
+    for name, buf in model.named_buffers():
+        if name.endswith("running_mean"):
+            buf[:] = rng.standard_normal(buf.shape).astype(np.float32)
+        elif name.endswith("running_var"):
+            buf[:] = rng.uniform(0.5, 2.0, buf.shape).astype(np.float32)
+
+
+class TestBnFolding:
+    def test_folds_into_conv_and_matches_module(self, images, rng):
+        model = make_tiny_cnn()
+        randomize_bn_stats(model, rng)
+        plan = CompiledPlan(trace(model, images), fold_bn=True)
+        plan.refresh(model)
+        # All three BNs sit directly on a single-consumer conv: folded away.
+        assert plan.n_folded == 3
+        assert "bn_affine" not in plan.op_counts
+        assert_parity(plan.run(images), module_logits(model, images))
+
+    def test_unfoldable_bn_becomes_affine(self, images, rng):
+        # BN on the raw input has no conv/linear producer to fold into.
+        model = nn.Sequential(
+            nn.BatchNorm2d(3),
+            nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(4, 2, rng=rng),
+        )
+        randomize_bn_stats(model, rng)
+        plan = CompiledPlan(trace(model, images), fold_bn=True)
+        plan.refresh(model)
+        assert plan.n_folded == 0
+        assert plan.op_counts.get("bn_affine") == 1
+        assert_parity(plan.run(images), module_logits(model, images))
+
+    def test_fold_disabled_keeps_affine_path(self, images, rng):
+        model = make_tiny_cnn()
+        randomize_bn_stats(model, rng)
+        plan = CompiledPlan(trace(model, images), fold_bn=False)
+        plan.refresh(model)
+        assert plan.n_folded == 0
+        assert_parity(plan.run(images), module_logits(model, images))
+
+
+class TestExactMode:
+    def test_exact_plan_is_bit_identical_to_module(self, images, rng):
+        model = make_tiny_cnn()
+        randomize_bn_stats(model, rng)
+        plan = CompiledPlan(trace(model, images), fold_bn=False, exact=True)
+        plan.refresh(model)
+        np.testing.assert_array_equal(plan.run(images), module_logits(model, images))

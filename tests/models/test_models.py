@@ -92,8 +92,15 @@ class TestRegistry:
 
     def test_register_custom(self):
         models.register_model("custom-test", lambda **kw: models.MLP(12, num_classes=2))
-        model = models.build_model("custom-test")
-        assert model.num_parameters() > 0
+        try:
+            model = models.build_model("custom-test")
+            assert model.num_parameters() > 0
+        finally:
+            # Leaked registrations poison every later registry-wide sweep
+            # (e.g. the deep audit's plan-parity oracle).
+            models.unregister_model("custom-test")
+        with pytest.raises(KeyError, match="unknown model"):
+            models.build_model("custom-test")
 
     def test_mlp_entry(self):
         model = models.build_model("mlp", num_classes=3, in_features=12)

@@ -9,6 +9,8 @@ from repro.pruning.mask import prunable_layers
 from repro.verify import (
     oracle_jobs_equivalence,
     oracle_masked_forward,
+    oracle_plan_parity,
+    oracle_registry_plan_parity,
     oracle_retrain_determinism,
     oracle_save_load_roundtrip,
     state_mismatches,
@@ -73,6 +75,37 @@ class TestSaveLoadRoundtrip:
         arrays = {"w": rng.standard_normal((2, 2))}
         report = oracle_save_load_roundtrip(arrays, path=tmp_path / "state.npz")
         assert report.passed
+
+
+class TestPlanParityOracle:
+    def test_pruned_tiny_cnn_passes_both_checks(self, rng):
+        model = make_tiny_cnn()
+        build_method("wt").prune(model, 0.5)
+        probe = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        report = oracle_plan_parity(model, probe)
+        assert report.passed
+        assert {r.name for r in report.results} == {
+            "plan_parity_unfolded",
+            "plan_parity_folded",
+        }
+
+    def test_untraceable_model_reported_not_raised(self, rng):
+        from repro import nn
+        from repro.autograd import Tensor
+
+        class Detour(nn.Module):
+            def forward(self, x):
+                return Tensor(np.tanh(x.data).sum(axis=(2, 3)))
+
+        report = oracle_plan_parity(Detour(), rng.standard_normal((2, 3, 8, 8)))
+        assert not report.passed
+        (result,) = report.failures
+        assert result.name == "plan_parity_unfolded"
+
+    @pytest.mark.tier2
+    def test_registry_sweep(self):
+        report = oracle_registry_plan_parity()
+        assert report.passed, report.summary()
 
 
 @pytest.mark.tier2
