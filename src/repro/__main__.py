@@ -160,16 +160,27 @@ def cmd_tables(args) -> int:
 
 def cmd_verify(args) -> int:
     from repro.experiments.zoo import cache_dir
-    from repro.verify import audit_path, merge_reports, oracle_registry_plan_parity
+    from repro.verify import (
+        audit_path,
+        merge_reports,
+        oracle_registry_grad_plan_parity,
+        oracle_registry_plan_parity,
+    )
 
     target = args.path if args.path is not None else str(cache_dir())
     report = audit_path(target, deep=args.deep)
     if args.deep:
-        # --deep also proves the inference engine: compiled-plan logits
-        # must match module logits for every registry model, pruned and
-        # unpruned.
+        # --deep also proves both compiled engines: inference-plan logits
+        # must match module logits, and gradient-plan training steps must
+        # match the tape (bitwise in exact mode), for every registry
+        # model, pruned and unpruned.
         report = merge_reports(
-            report.subject, [report, oracle_registry_plan_parity()]
+            report.subject,
+            [
+                report,
+                oracle_registry_plan_parity(),
+                oracle_registry_grad_plan_parity(),
+            ],
         )
     if args.json is not None:
         from pathlib import Path
@@ -244,7 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         "--deep",
         action="store_true",
         help="also run save/load round-trip oracles per artifact and the "
-        "registry plan-parity oracle (compiled inference plans vs modules)",
+        "registry plan-parity oracles (compiled inference plans vs modules, "
+        "compiled gradient plans vs the autograd tape)",
     )
     verify_parser.add_argument(
         "--json", default=None, help="write the full report to this JSON file"

@@ -150,7 +150,12 @@ def max_pool2d(x, kernel_size: int, stride: int | None = None) -> Tensor:
         cols = kj + s * np.arange(ow)[None, None, None, :]
         ni = np.arange(n)[:, None, None, None]
         ci = np.arange(c)[None, :, None, None]
-        np.add.at(dx, (ni, ci, rows, cols), g)
+        if s >= k:  # disjoint windows: argmax cells are unique, so the
+            # unbuffered np.add.at scatter reduces to a plain (much
+            # faster) fancy assignment with identical values.
+            dx[ni, ci, rows, cols] = g
+        else:
+            np.add.at(dx, (ni, ci, rows, cols), g)
         return (dx,)
 
     return build(out, (x,), backward)

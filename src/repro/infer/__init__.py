@@ -11,18 +11,39 @@ from repro.infer.engine import (
     enabled,
     engine_for,
 )
+from repro.infer.grad import GradPlan
 from repro.infer.plan import CompiledPlan, CompileError
-from repro.infer.trace import Graph, Node, TraceError, trace
+from repro.infer.trace import (
+    Graph,
+    Node,
+    TraceError,
+    TrainGraph,
+    trace,
+    trace_training,
+)
+from repro.infer.trainengine import (
+    ENV_VAR_TRAIN,
+    TrainEngine,
+    train_enabled,
+    train_engine_for,
+)
 
 __all__ = [
     "ENV_VAR",
+    "ENV_VAR_TRAIN",
     "CompiledPlan",
     "CompileError",
+    "GradPlan",
     "Graph",
     "InferenceEngine",
     "Node",
     "TraceError",
+    "TrainEngine",
+    "TrainGraph",
     "enabled",
     "engine_for",
     "trace",
+    "trace_training",
+    "train_enabled",
+    "train_engine_for",
 ]

@@ -68,12 +68,52 @@ class Graph:
         return counts
 
 
-_LEAF_OPS = frozenset({"input", "param", "buffer", "value"})
+@dataclass
+class TrainGraph:
+    """A traced train-mode forward: model forward plus the loss head.
+
+    Training traces differ from eval traces in three ways:
+
+    - BatchNorm keeps its batch statistics as a fused ``bn_train`` tuple
+      node ``(out, xhat, invstd, mean, var)`` — the backward pass and the
+      engine's running-stat update both need the saved intermediates;
+    - the labels enter as a dedicated ``label`` leaf (they are a plain
+      ndarray, so without explicit matching they would freeze into the
+      plan as a constant of the traced batch);
+    - ``shapes[i]`` records every node's traced output shape (``None``
+      for tuple nodes) so the backward derivation can reason about
+      broadcasting without re-running the forward.
+
+    ``bn_updates`` carries one entry per BatchNorm layer: the tuple-get
+    node indices of the batch mean/var plus the running-buffer names,
+    momentum, and element count needed to replay the in-place update.
+    """
+
+    nodes: list[Node]
+    shapes: list[tuple[int, ...] | None]
+    input: int
+    label: int | None
+    logits: int
+    loss: int
+    bn_updates: list[dict]
+    sample_loss: np.ndarray
+    sample_logits: np.ndarray
+
+    def count_ops(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+
+_LEAF_OPS = frozenset({"input", "param", "buffer", "value", "label"})
 
 
 class _Tracer:
-    def __init__(self, model: Module):
+    def __init__(self, model: Module, training: bool = False):
         self.nodes: list[Node] = []
+        # Traced output shape per node (None for tuple-valued nodes).
+        self.shapes: list[tuple[int, ...] | None] = []
         # id(Tensor) -> node index for every traced intermediate.
         self.var_of: dict[int, int] = {}
         # Strong references to everything memoized by id, so CPython
@@ -82,19 +122,32 @@ class _Tracer:
         self.param_names = {id(p): name for name, p in model.named_parameters()}
         self.buffer_names = {id(b): name for name, b in model.named_buffers()}
         self._leaf_cache: dict[tuple[str, str], int] = {}
+        self.training = training
+        # Training-trace state: the label array the loss must consume and
+        # the BatchNorm running-stat updates replayed by the engine.
+        self.label_value: np.ndarray | None = None
+        self.label_index: int | None = None
+        self.bn_updates: list[dict] = []
 
-    def emit(self, op: str, inputs: tuple[int, ...] = (), params: dict | None = None) -> int:
+    def emit(
+        self,
+        op: str,
+        inputs: tuple[int, ...] = (),
+        params: dict | None = None,
+        shape: tuple[int, ...] | None = None,
+    ) -> int:
         self.nodes.append(Node(op, inputs, params or {}))
+        self.shapes.append(shape)
         return len(self.nodes) - 1
 
     def bind(self, tensor: Tensor, index: int) -> None:
         self.var_of[id(tensor)] = index
         self.keep.append(tensor)
 
-    def _leaf(self, kind: str, name: str) -> int:
+    def _leaf(self, kind: str, name: str, shape: tuple[int, ...] | None = None) -> int:
         key = (kind, name)
         if key not in self._leaf_cache:
-            self._leaf_cache[key] = self.emit(kind, params={"name": name})
+            self._leaf_cache[key] = self.emit(kind, params={"name": name}, shape=shape)
         return self._leaf_cache[key]
 
     def ref(self, value) -> int:
@@ -104,25 +157,54 @@ class _Tracer:
             if index is not None:
                 return index
             if id(value) in self.param_names:
-                index = self._leaf("param", self.param_names[id(value)])
+                index = self._leaf(
+                    "param", self.param_names[id(value)], shape=value.shape
+                )
             elif id(value.data) in self.buffer_names:
                 # e.g. masked_weight wraps the raw mask buffer in a
                 # fresh Tensor each forward; key on the payload array.
-                index = self._leaf("buffer", self.buffer_names[id(value.data)])
+                index = self._leaf(
+                    "buffer", self.buffer_names[id(value.data)], shape=value.shape
+                )
             else:
-                index = self.emit("value", params={"value": np.array(value.data)})
+                index = self.emit(
+                    "value",
+                    params={"value": np.array(value.data)},
+                    shape=value.shape,
+                )
             self.bind(value, index)
             return index
         if isinstance(value, np.ndarray):
             if id(value) in self.buffer_names:
                 self.keep.append(value)
-                return self._leaf("buffer", self.buffer_names[id(value)])
-            return self.emit("value", params={"value": np.array(value)})
+                return self._leaf(
+                    "buffer", self.buffer_names[id(value)], shape=value.shape
+                )
+            return self.emit("value", params={"value": np.array(value)}, shape=value.shape)
         if isinstance(value, (int, float, np.integer, np.floating)):
             # Plain python scalars stay python floats so NumPy's scalar
             # promotion matches ops._pair (no silent float64 upcast).
-            return self.emit("value", params={"value": float(value)})
+            return self.emit("value", params={"value": float(value)}, shape=())
         raise TraceError(f"cannot trace operand of type {type(value).__name__}")
+
+    def ref_label(self, targets) -> int:
+        """Node index for the loss targets; must derive from the label array.
+
+        The targets reaching the loss are a plain ndarray — either the
+        traced label batch itself or a view of it (``CrossEntropyLoss``
+        flattens dense labels with a numpy ``reshape``).  Anything else
+        would silently freeze this batch's labels into the plan.
+        """
+        arr = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        lv = self.label_value
+        if lv is None or not (arr is lv or arr.base is lv):
+            raise TraceError("loss targets do not derive from the traced labels")
+        shape = tuple(arr.shape)
+        if self.label_index is None:
+            self.label_index = self.emit("label", params={"shape": shape}, shape=shape)
+        elif self.nodes[self.label_index].params["shape"] != shape:
+            raise TraceError("loss consumes the labels under two different shapes")
+        return self.label_index
 
 
 def _check_static_index(index) -> None:
@@ -133,7 +215,12 @@ def _check_static_index(index) -> None:
 
 
 def _record(tracer: _Tracer, op: str, operands: tuple, params: dict, out: Tensor) -> Tensor:
-    tracer.bind(out, tracer.emit(op, tuple(tracer.ref(v) for v in operands), params))
+    tracer.bind(
+        out,
+        tracer.emit(
+            op, tuple(tracer.ref(v) for v in operands), params, shape=out.shape
+        ),
+    )
     return out
 
 
@@ -148,6 +235,7 @@ def _patched_attrs(tracer: _Tracer) -> dict[tuple[Any, str], Any]:
     orig_max_pool, orig_avg_pool = F.max_pool2d, F.avg_pool2d
     orig_gap, orig_upsample = F.global_avg_pool2d, F.upsample_nearest2d
     orig_softmax, orig_log_softmax, orig_dropout = F.softmax, F.log_softmax, F.dropout
+    orig_cross_entropy = F.cross_entropy
 
     def binary(op_name, orig, swap=False):
         def wrapper(a, b):
@@ -201,7 +289,10 @@ def _patched_attrs(tracer: _Tracer) -> dict[tuple[Any, str], Any]:
         tensors = list(tensors)
         out = orig_concatenate(tensors, axis=axis)
         tracer.bind(out, tracer.emit(
-            "concatenate", tuple(tracer.ref(t) for t in tensors), {"axis": int(axis)}
+            "concatenate",
+            tuple(tracer.ref(t) for t in tensors),
+            {"axis": int(axis)},
+            shape=out.shape,
         ))
         return out
 
@@ -218,8 +309,38 @@ def _patched_attrs(tracer: _Tracer) -> dict[tuple[Any, str], Any]:
 
     def batch_norm(x, gamma, beta, running_mean, running_var, training,
                    momentum=0.1, eps=1e-5):
-        if training:
+        if training and not tracer.training:
             raise TraceError("training-mode batch_norm mutates running stats")
+        if training:
+            # The original op mutates the running buffers in place;
+            # trace_training snapshots and restores them around the trace.
+            out = orig_batch_norm(x, gamma, beta, running_mean, running_var,
+                                  training=True, momentum=momentum, eps=eps)
+            for buf in (running_mean, running_var):
+                if id(buf) not in tracer.buffer_names:
+                    raise TraceError(
+                        "batch_norm running stats are not registered buffers"
+                    )
+            bn = tracer.emit(
+                "bn_train",
+                (tracer.ref(x), tracer.ref(gamma), tracer.ref(beta)),
+                {"eps": float(eps), "ndim": x.ndim},
+            )
+            tracer.bind(
+                out, tracer.emit("tuple_get", (bn,), {"index": 0}, shape=out.shape)
+            )
+            stat_shape = (out.shape[1],)
+            tracer.bn_updates.append({
+                "mean": tracer.emit("tuple_get", (bn,), {"index": 3}, shape=stat_shape),
+                "var": tracer.emit("tuple_get", (bn,), {"index": 4}, shape=stat_shape),
+                "running_mean": tracer.buffer_names[id(running_mean)],
+                "running_var": tracer.buffer_names[id(running_var)],
+                "momentum": float(momentum),
+                # Element count behind each channel statistic; fixes the
+                # unbiased-variance correction of the running update.
+                "m": int(np.prod(out.shape) // out.shape[1]),
+            })
+            return out
         out = orig_batch_norm(x, gamma, beta, running_mean, running_var,
                               training=False, momentum=momentum, eps=eps)
         operands = (x, gamma, beta, running_mean, running_var)
@@ -228,7 +349,28 @@ def _patched_attrs(tracer: _Tracer) -> dict[tuple[Any, str], Any]:
     def max_pool2d(x, kernel_size, stride=None):
         out = orig_max_pool(x, kernel_size, stride)
         params = {"kernel": int(kernel_size), "stride": int(stride or kernel_size)}
+        if tracer.training:
+            # Keep the argmax indices: the backward scatter needs them.
+            node = tracer.emit(
+                "max_pool2d_train", (tracer.ref(x),), dict(params)
+            )
+            tracer.bind(
+                out, tracer.emit("tuple_get", (node,), {"index": 0}, shape=out.shape)
+            )
+            return out
         return _record(tracer, "max_pool2d", (x,), params, out)
+
+    def cross_entropy(logits, targets):
+        out = orig_cross_entropy(logits, targets)
+        if not tracer.training:
+            raise TraceError("cross_entropy is only traced in training mode")
+        node = tracer.emit(
+            "cross_entropy", (tracer.ref(logits), tracer.ref_label(targets)), {}
+        )
+        tracer.bind(
+            out, tracer.emit("tuple_get", (node,), {"index": 0}, shape=out.shape)
+        )
+        return out
 
     def avg_pool2d(x, kernel_size, stride=None):
         out = orig_avg_pool(x, kernel_size, stride)
@@ -293,6 +435,7 @@ def _patched_attrs(tracer: _Tracer) -> dict[tuple[Any, str], Any]:
         (F, "softmax"): softmax,
         (F, "log_softmax"): log_softmax,
         (F, "dropout"): dropout,
+        (F, "cross_entropy"): cross_entropy,
     }
 
 
@@ -336,4 +479,50 @@ def trace(model: Module, sample: np.ndarray) -> Graph:
         input=tracer.var_of[id(inp)],
         output=out_index,
         sample_output=out.data.copy(),
+    )
+
+
+def trace_training(
+    model: Module, loss_fn, sample: np.ndarray, labels: np.ndarray
+) -> TrainGraph:
+    """Capture a train-mode forward + loss as a :class:`TrainGraph`.
+
+    Runs ``loss_fn(model(sample), labels)`` once with the model in train
+    mode under the tracing patches.  The trace is side-effect free: every
+    buffer (BatchNorm running stats included — the real train-mode forward
+    updates them in place) is snapshotted before and restored, in place,
+    after.  The model's train/eval state is restored on exit as well.
+    """
+    tracer = _Tracer(model, training=True)
+    tracer.label_value = np.asarray(labels)
+    inp = Tensor(sample)
+    tracer.bind(inp, tracer.emit("input", shape=inp.shape))
+    was_training = model.training
+    snapshot = {name: buf.copy() for name, buf in model.named_buffers()}
+    model.train()
+    try:
+        with no_grad(), _patched(tracer):
+            logits = model(inp)
+            loss = loss_fn(logits, tracer.label_value)
+    finally:
+        model.train(was_training)
+        # Restore in place: rebinding via set_buffer would orphan the
+        # array identities this tracer just keyed its buffer leaves on.
+        for name, buf in model.named_buffers():
+            buf[...] = snapshot[name]
+    for tensor, what in ((logits, "logits"), (loss, "loss")):
+        if not isinstance(tensor, Tensor):
+            raise TraceError(f"{what} is {type(tensor).__name__}, not a Tensor")
+        if tracer.var_of.get(id(tensor)) is None:
+            raise TraceError(f"{what} was not produced by traced ops")
+    return TrainGraph(
+        nodes=tracer.nodes,
+        shapes=tracer.shapes,
+        input=tracer.var_of[id(inp)],
+        label=tracer.label_index,
+        logits=tracer.var_of[id(logits)],
+        loss=tracer.var_of[id(loss)],
+        bn_updates=tracer.bn_updates,
+        sample_loss=loss.data.copy(),
+        sample_logits=logits.data.copy(),
     )

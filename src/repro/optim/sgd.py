@@ -61,6 +61,29 @@ class SGD:
                 grad = grad + self.momentum * v if self.nesterov else v
             p.data -= self.lr * grad
 
+    def apply(self, grads: Iterable[np.ndarray | None]) -> None:
+        """One update from externally computed gradients, in ``params`` order.
+
+        The compiled-training epilogue: identical arithmetic (and shared
+        momentum state) with :meth:`step`, but gradients arrive as a list
+        instead of ``p.grad``.  Entries may be ``None`` (parameter got no
+        gradient) and are never mutated — a pass-through backward rule can
+        hand the same array to two parameters.
+        """
+        for i, (p, grad) in enumerate(zip(self.params, grads)):
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += grad
+                grad = grad + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * grad
+
     def reset_state(self) -> None:
         """Clear momentum buffers (used when a retrain phase restarts)."""
         self._velocity = [None] * len(self.params)

@@ -16,12 +16,13 @@ from typing import Callable
 import numpy as np
 
 from repro import nn, observe
-from repro.autograd import Tensor
+from repro.infer import train_engine_for
 from repro.data.datasets import Dataset, Normalizer, TaskSuite
 from repro.data.augmentation import random_crop_flip
 from repro.data.loaders import iterate_minibatches
 from repro.optim import SGD, ConstantLR, LRSchedule, WarmupLR
 from repro.training.history import EpochRecord, History
+from repro.training.metrics import accuracy_from_logits
 from repro.utils.rng import as_rng
 
 
@@ -45,16 +46,6 @@ class TrainConfig:
     seed: int = 0
 
 
-def _accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
-    """Classification (N, K) or dense segmentation (N, K, H, W) accuracy.
-
-    The class axis is 1 in both layouts, so one argmax covers both: it
-    yields (N,) predictions against (N,) labels, or (N, H, W) against
-    (N, H, W) per-pixel labels.
-    """
-    return float((logits.argmax(axis=1) == labels).mean())
-
-
 def evaluate_model(
     model: nn.Module,
     images: np.ndarray,
@@ -74,7 +65,6 @@ def evaluate_model(
     """
     from repro.infer import engine_for
     from repro.training.metrics import (
-        accuracy_from_logits,
         confusion_matrix,
         cross_entropy_from_logits,
         per_class_iou,
@@ -155,6 +145,10 @@ class Trainer:
             base = WarmupLR(base, cfg.warmup_epochs)
         schedule = base
         train = self.task.train_set()
+        if len(train) == 0:
+            raise ValueError(
+                f"cannot train {label!r}: the training set is empty"
+            )
         optimizer = SGD(
             self.model.parameters(),
             lr=cfg.lr,
@@ -162,8 +156,17 @@ class Trainer:
             weight_decay=cfg.weight_decay,
             nesterov=cfg.nesterov,
         )
+        # The compiled-training seam: static forward+backward plans with a
+        # per-batch tape fallback (REPRO_TRAINC=0, untraceable model, or
+        # failed compile-time validation) — see repro.infer.trainengine.
+        engine = train_engine_for(self.model, self.loss_fn, optimizer)
         history = History()
         self.model.train()
+        # When no augmentation runs, every epoch would re-normalize the
+        # same images; hoist the normalization out of the loop.  With
+        # augmentation on, the per-batch path is kept bit-identical.
+        static_inputs = not cfg.augment and self._extra_augment is None
+        images = self.normalizer(train.images) if static_inputs else train.images
         n_batches = max(int(np.ceil(len(train) / cfg.batch_size)), 1)
         first_step = 1.0 / n_batches
         observing = observe.enabled()
@@ -175,7 +178,7 @@ class Trainer:
                 epoch_t0 = time.perf_counter()
                 for b, (x, y) in enumerate(
                     iterate_minibatches(
-                        train.images,
+                        images,
                         train.labels,
                         cfg.batch_size,
                         rng=self._rng,
@@ -188,15 +191,12 @@ class Trainer:
                     lr_sum += optimizer.lr
                     if observing:
                         lr_trace.append(optimizer.lr)
-                    x = self.normalizer(x)
-                    logits = self.model(Tensor(x))
-                    loss = self.loss_fn(logits, y)
-                    optimizer.zero_grad()
-                    loss.backward()
-                    optimizer.step()
+                    if not static_inputs:
+                        x = self.normalizer(x)
+                    loss_val, logits = engine.step(x, y)
                     n = len(x)
-                    loss_sum += loss.item() * n
-                    acc_sum += _accuracy(logits.data, y) * n
+                    loss_sum += loss_val * n
+                    acc_sum += accuracy_from_logits(logits, y) * n
                     seen += n
                 record = EpochRecord(
                     epoch=epoch,

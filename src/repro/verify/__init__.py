@@ -30,9 +30,11 @@ from repro.verify.invariants import (
     mask_pairs,
 )
 from repro.verify.oracles import (
+    oracle_grad_plan_parity,
     oracle_jobs_equivalence,
     oracle_masked_forward,
     oracle_plan_parity,
+    oracle_registry_grad_plan_parity,
     oracle_registry_plan_parity,
     oracle_retrain_determinism,
     oracle_save_load_roundtrip,
@@ -63,9 +65,11 @@ __all__ = [
     "check_structured_masks",
     "check_structured_shape_propagation",
     "mask_pairs",
+    "oracle_grad_plan_parity",
     "oracle_jobs_equivalence",
     "oracle_masked_forward",
     "oracle_plan_parity",
+    "oracle_registry_grad_plan_parity",
     "oracle_registry_plan_parity",
     "oracle_retrain_determinism",
     "oracle_save_load_roundtrip",

@@ -183,6 +183,118 @@ def oracle_registry_plan_parity(
     return merge_reports("registry plan parity", reports)
 
 
+def oracle_grad_plan_parity(
+    model: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Compiled training-step gradients ≡ tape gradients.
+
+    Two differential checks against one side-effect-free tape step on the
+    probe batch:
+
+    - ``grad_plan_parity_exact`` — a plan built with the tape-replicating
+      kernel table must agree **bitwise** on loss, logits, and every
+      parameter gradient.  This proves the static backward derivation
+      (wiring, accumulation, tuple projections) reproduces autograd, not
+      merely approximates it.
+    - ``grad_plan_parity_fast`` — the production fast plan (fused
+      conv→BN→ReLU, shared scratch, reordered conv accumulation) must pass
+      the engine's compile-time validation: loss/logits/running-stats
+      within the scale-aware tolerance and every gradient within it or the
+      relative-ℓ2 budget that absorbs borderline ReLU-gate flips.  This
+      also fails if the engine would silently fall back to the tape.
+    """
+    from repro.infer import CompileError, GradPlan, TraceError, TrainEngine, trace_training
+    from repro.nn.losses import CrossEntropyLoss
+    from repro.optim import SGD
+
+    report = report if report is not None else VerificationReport(subject="model")
+    x = np.asarray(inputs, dtype=np.float32)
+    y = np.asarray(targets)
+    engine = TrainEngine(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.1))
+    want_loss, want_logits, want_grads, _ = engine._tape_reference(x, y)
+    try:
+        graph = trace_training(model, engine.loss_fn, x, y)
+        plan = GradPlan(graph, model, exact=True)
+        loss, logits, grads, _ = plan.run(x, y)
+        bad = []
+        if float(loss) != want_loss:
+            bad.append(f"loss {float(loss)} vs {want_loss}")
+        if not np.array_equal(logits, want_logits):
+            bad.append("logits")
+        for name, want in want_grads.items():
+            got = grads.get(name)
+            if (got is None) != (want is None) or (
+                want is not None and not np.array_equal(got, want)
+            ):
+                bad.append(name)
+        report.add(
+            "grad_plan_parity_exact",
+            not bad,
+            detail=f"exact plan diverges from tape on {bad[:5]}" if bad else "",
+            context={"mismatched": bad},
+        )
+    except (TraceError, CompileError) as exc:
+        report.add(
+            "grad_plan_parity_exact", False, detail=f"plan compilation failed: {exc!r}"
+        )
+        return report
+    try:
+        fast = GradPlan(graph, model, exact=False)
+        engine._validate(fast, x, y)
+        report.add("grad_plan_parity_fast", True)
+    except CompileError as exc:
+        report.add(
+            "grad_plan_parity_fast", False, detail=f"fast plan out of tolerance: {exc!r}"
+        )
+    return report
+
+
+def oracle_registry_grad_plan_parity(batch: int = 4) -> VerificationReport:
+    """Gradient-plan-vs-tape parity for every registry model, pruned and unpruned.
+
+    The training-path twin of :func:`oracle_registry_plan_parity`: each
+    architecture is probed fresh and again with median-|w| masks — the
+    state :class:`~repro.training.Trainer` actually retrains — so the
+    compiled default of ``Trainer.train`` is proven against the tape for
+    the whole model zoo.
+    """
+    from repro.models.registry import available_models, build_model
+    from repro.nn.prunable import PrunableWeightMixin
+
+    rng = np.random.default_rng(0)
+    reports: list[VerificationReport] = []
+    for name in available_models():
+        model = build_model(name, rng=np.random.default_rng(3))
+        shape = (batch, 3, 4, 4) if name == "mlp" else (batch, 3, 16, 16)
+        inputs = rng.standard_normal(shape).astype(np.float32)
+        if name == "deeplab_small":  # dense labels, 6 classes
+            targets = rng.integers(0, 6, (batch, 16, 16))
+        else:
+            targets = rng.integers(0, 10, batch)
+        for variant in ("unpruned", "pruned"):
+            if variant == "pruned":
+                for module in model.modules():
+                    if isinstance(module, PrunableWeightMixin):
+                        weight = module.weight.data
+                        cut = np.median(np.abs(weight))
+                        module.set_weight_mask(
+                            (np.abs(weight) > cut).astype(np.float32)
+                        )
+            sub = VerificationReport(subject=f"{name}[{variant}]")
+            try:
+                oracle_grad_plan_parity(model, inputs, targets, report=sub)
+            except Exception as exc:  # noqa: BLE001 — one broken entry
+                # must not abort the whole registry audit.
+                sub.add("grad_plan_parity", False, detail=f"probe crashed: {exc!r}")
+            reports.append(sub)
+    from repro.verify.report import merge_reports
+
+    return merge_reports("registry grad-plan parity", reports)
+
+
 def oracle_save_load_roundtrip(
     arrays: Mapping[str, np.ndarray],
     meta: Mapping[str, Any] | None = None,

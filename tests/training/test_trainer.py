@@ -6,21 +6,23 @@ import pytest
 from repro.autograd import Tensor
 from repro.optim import ConstantLR, MultiStepLR, WarmupLR
 from repro.training import TrainConfig, Trainer, evaluate_model
-from repro.training.trainer import _accuracy
+from repro.training.metrics import accuracy_from_logits
 
 from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
 
 
 class TestAccuracyHelper:
+    # The trainer's old private _accuracy helper is gone; the shared
+    # metrics implementation must keep covering both layouts.
     def test_classification(self):
         logits = np.array([[2.0, 1.0], [0.0, 3.0]])
-        assert _accuracy(logits, np.array([0, 1])) == 1.0
-        assert _accuracy(logits, np.array([1, 1])) == 0.5
+        assert accuracy_from_logits(logits, np.array([0, 1])) == 1.0
+        assert accuracy_from_logits(logits, np.array([1, 1])) == 0.5
 
     def test_segmentation(self):
         logits = np.zeros((1, 2, 2, 2))
         logits[0, 1] = 5.0  # class 1 everywhere
-        assert _accuracy(logits, np.ones((1, 2, 2), dtype=np.int64)) == 1.0
+        assert accuracy_from_logits(logits, np.ones((1, 2, 2), dtype=np.int64)) == 1.0
 
 
 class TestEvaluateModel:
