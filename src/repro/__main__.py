@@ -8,6 +8,7 @@ Commands
 ``tables``     print the PR/FR and overparameterization tables
 ``verify``     audit cached artifacts (mask/weight consistency, accounting)
 ``trace``      render a run ledger (span tree + metric rollups)
+``serve-bench``  load-test the serving layer and write ``BENCH_serve.json``
 """
 
 from __future__ import annotations
@@ -193,6 +194,55 @@ def cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve_bench(args) -> int:
+    from repro import observe
+    from repro.serve import run_serve_bench
+    from repro.utils.tables import format_table
+
+    report = run_serve_bench(
+        n_requests=args.requests,
+        seed=args.seed,
+        mean_interarrival=args.mean_interarrival,
+        budget_mb=args.budget_mb if args.budget_mb > 0 else None,
+        out=args.out,
+    )
+    load = report["load"]
+    rows = [
+        ["requests", str(load["n_requests"])],
+        ["served ok", str(load["ok"])],
+        ["shed", f"{load['shed']} ({100 * load['shed_rate']:.1f}%)"],
+        [
+            "deadline missed",
+            f"{load['deadline_miss']} ({100 * load['deadline_miss_rate']:.1f}%)",
+        ],
+        ["errors", str(load["errors"])],
+        ["lost", str(load["lost"])],
+        ["latency p50", f"{load['latency_p50_ms']:.2f} ms"],
+        ["latency p99", f"{load['latency_p99_ms']:.2f} ms"],
+        ["throughput", f"{load['throughput_rps']:.0f} req/s"],
+        ["batches", str(load["batches"])],
+        ["batch occupancy", f"mean {load['batch_occupancy']['mean']:.1f} "
+         f"max {load['batch_occupancy']['max']}"],
+        ["plan memory", f"{report['registry']['plan_memory_bytes'] / 2**20:.1f} MiB "
+         f"({report['registry']['evictions']} evictions)"],
+        ["bitwise parity", "ok" if report["parity"]["bitwise_equal"] else "FAILED"],
+    ]
+    print(
+        format_table(
+            ["Metric", "Value"],
+            rows,
+            title=f"serve-bench — {len(report['models'])} models, "
+            f"{len(report['shapes'])} shapes, lognormal arrivals",
+        )
+    )
+    if args.out:
+        print(f"\nreport: {args.out}")
+    ledger = observe.current_ledger_path()
+    if ledger is not None:
+        print(f"run ledger: {ledger}")
+    return 0 if report["parity"]["bitwise_equal"] and load["lost"] == 0 else 1
+
+
 def cmd_trace(args) -> int:
     from repro.observe import load_report
 
@@ -265,6 +315,33 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="print every check, not just failures"
     )
     verify_parser.set_defaults(fn=cmd_verify)
+
+    serve_parser = sub.add_parser(
+        "serve-bench",
+        help="seeded mixed-traffic load run against the serving layer",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=400, help="arrivals to simulate"
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=0.002,
+        help="mean lognormal inter-arrival gap in seconds",
+    )
+    serve_parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=48.0,
+        help="compiled-plan memory budget in MiB (<=0: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="write the JSON report here (default: BENCH_serve.json)",
+    )
+    serve_parser.set_defaults(fn=cmd_serve_bench)
 
     trace_parser = sub.add_parser(
         "trace", help="render a run ledger written under REPRO_OBSERVE=1"

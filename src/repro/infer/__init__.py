@@ -8,6 +8,7 @@ Entry point for consumers is :func:`engine_for`; the pieces underneath
 from repro.infer.engine import (
     ENV_VAR,
     InferenceEngine,
+    adopt_engine,
     enabled,
     engine_for,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "TraceError",
     "TrainEngine",
     "TrainGraph",
+    "adopt_engine",
     "enabled",
     "engine_for",
     "trace",

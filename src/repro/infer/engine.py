@@ -110,15 +110,40 @@ class InferenceEngine:
     fold_bn:
         Fold eval-mode BatchNorm into the preceding conv/linear where the
         normalized value has no other consumer.
+    pad:
+        Chunk-padding policy.  ``"pow2"`` (default) pads tail chunks to the
+        next power of two, bounding compiled shapes at ~log2(batch_size)
+        per sweep.  ``"fixed"`` pads *every* chunk to ``batch_size``, so
+        one plan serves all batch occupancies — the serving layer uses it
+        because identical plans make a coalesced batch's per-row outputs
+        bitwise equal to the same rows served one request at a time
+        (different plan shapes route through different BLAS blockings and
+        round differently).
     """
 
-    def __init__(self, model: Module, batch_size: int = 256, fold_bn: bool = True):
+    def __init__(
+        self,
+        model: Module,
+        batch_size: int = 256,
+        fold_bn: bool = True,
+        pad: str = "pow2",
+    ):
+        if pad not in ("pow2", "fixed"):
+            raise ValueError(f"pad must be 'pow2' or 'fixed', got {pad!r}")
         self.model = model
         self.batch_size = int(batch_size)
         self.fold_bn = fold_bn
+        self.pad = pad
         # (row_shape, dtype) -> CompiledPlan | None (None: fall back forever)
         self._plans: dict[tuple, CompiledPlan | None] = {}
         self._signature: tuple | None = None
+        # (images shape, candidates) -> best batch size (autotune sweeps are
+        # expensive; repeated calls must not re-run them).
+        self._autotune_cache: dict[tuple, int] = {}
+        # Serving-layer seam: called as hook(engine, plan_key, plan) every
+        # time a compiled plan is about to serve a chunk (including right
+        # after compilation), so an LRU can track recency and budget.
+        self.plan_used_hook = None
 
     # -------------------------------------------------------------- compile
 
@@ -143,15 +168,24 @@ class InferenceEngine:
                 # output recorded during tracing.
                 got = plan.run(probe)
                 _assert_parity(got, graph.sample_output, "compile self-check")
-                # Row independence licenses tail padding: perturbing every
-                # trailing row must leave the leading row's output bitwise
-                # unchanged (any batch-mixing op would couple the rows).
+                # Row independence licenses tail padding *and* batch
+                # coalescing: perturbing every trailing row must leave the
+                # leading row's output bitwise unchanged, and vice versa
+                # (any batch-mixing op would couple the rows).  The second
+                # direction matters to the serving layer, which places a
+                # request's rows in the middle of a coalesced batch.
                 if probe.shape[0] > 1:
                     perturbed = probe.copy()
                     perturbed[1:] = probe[1:] * -3.0 + 1.0
                     if not np.array_equal(plan.run(perturbed)[0], got[0]):
                         raise CompileError(
                             "forward mixes batch rows; padding is unsafe"
+                        )
+                    perturbed = probe.copy()
+                    perturbed[:-1] = probe[:-1] * -3.0 + 1.0
+                    if not np.array_equal(plan.run(perturbed)[-1], got[-1]):
+                        raise CompileError(
+                            "forward mixes batch rows; coalescing is unsafe"
                         )
             except (TraceError, CompileError, AssertionError) as exc:
                 observe.event(
@@ -165,13 +199,23 @@ class InferenceEngine:
     def _plan_for(self, chunk: np.ndarray) -> CompiledPlan | None:
         key = (chunk.shape, chunk.dtype.str)
         if key not in self._plans:
-            return self._compile(chunk)
-        plan = self._plans[key]
-        if plan is not None and plan.signature != self._signature:
-            plan.refresh(self.model)
-            plan.signature = self._signature
-            observe.incr("infer.refreshes")
+            plan = self._compile(chunk)
+        else:
+            plan = self._plans[key]
+            if plan is not None and plan.signature != self._signature:
+                plan.refresh(self.model)
+                plan.signature = self._signature
+                observe.incr("infer.refreshes")
+        hook = self.plan_used_hook
+        if plan is not None and hook is not None:
+            hook(self, key, plan)
         return plan
+
+    def _chunk_rows(self, n: int, batch_size: int) -> int:
+        """Rows the padded chunk will occupy under this engine's pad policy."""
+        if self.pad == "fixed":
+            return batch_size
+        return _pad_to(n, batch_size)
 
     # ------------------------------------------------------------- fallback
 
@@ -206,7 +250,8 @@ class InferenceEngine:
                 # Pad every chunk up to a power of two (capped at the batch
                 # size) so a sweep of batch sizes — BackSelect's shrinking
                 # candidate sets — compiles O(log bs) plans, not one each.
-                rows = _pad_to(chunk.shape[0], bs)
+                # (pad="fixed" pads straight to the batch size instead.)
+                rows = self._chunk_rows(chunk.shape[0], bs)
                 if rows != chunk.shape[0]:
                     padded = np.zeros((rows,) + chunk.shape[1:], dtype=chunk.dtype)
                     padded[: chunk.shape[0]] = chunk
@@ -244,8 +289,19 @@ class InferenceEngine:
         candidates: tuple[int, ...] = _AUTOTUNE_CANDIDATES,
         repeats: int = 2,
     ) -> int:
-        """Measure throughput per candidate batch size and adopt the best."""
+        """Measure throughput per candidate batch size and adopt the best.
+
+        The sweep is memoized per ``(images.shape, candidates)``: the first
+        call times every candidate, later calls re-adopt the cached winner
+        without re-running the sweep (a serving layer autotunes on every
+        registration, often with the same probe shape).
+        """
         arr = _coerce_batch(images)
+        memo_key = (arr.shape, tuple(candidates))
+        cached = self._autotune_cache.get(memo_key)
+        if cached is not None:
+            self.batch_size = cached
+            return cached
         best, best_rate = self.batch_size, 0.0
         for candidate in candidates:
             if candidate > arr.shape[0]:
@@ -258,14 +314,42 @@ class InferenceEngine:
             if rate > best_rate:
                 best, best_rate = candidate, rate
         observe.event("infer.autotune", batch_size=best, images_per_s=best_rate)
+        self._autotune_cache[memo_key] = best
         self.batch_size = best
         return best
 
     def compiled_for(self, images: np.ndarray) -> bool:
         """True if a validated plan exists for this batch (after padding)."""
         arr = _coerce_batch(images)
-        rows = _pad_to(arr.shape[0], self.batch_size)
+        rows = self._chunk_rows(arr.shape[0], self.batch_size)
         return self._plans.get(((rows,) + arr.shape[1:], arr.dtype.str)) is not None
+
+    # ----------------------------------------------------- plan bookkeeping
+
+    def plan_stats(self) -> dict[tuple, int]:
+        """Resident compiled plans: ``plan_key -> constant bytes``.
+
+        Fallback markers (shapes that failed to compile and are pinned to
+        the module forward) are excluded — there is nothing to evict.
+        """
+        return {
+            key: plan.nbytes
+            for key, plan in self._plans.items()
+            if plan is not None
+        }
+
+    def evict_plan(self, key: tuple) -> bool:
+        """Drop the compiled plan under ``key`` (returns whether one existed).
+
+        The next batch of that shape recompiles from scratch; fallback
+        markers are left in place so a known-untraceable shape never
+        re-attempts compilation because of memory pressure.
+        """
+        if self._plans.get(key) is None:
+            return False
+        del self._plans[key]
+        observe.incr("infer.plan_evictions")
+        return True
 
 
 _ENGINES: "weakref.WeakKeyDictionary[Module, InferenceEngine]" = (
@@ -286,4 +370,16 @@ def engine_for(model: Module, batch_size: int = 256) -> InferenceEngine:
     if engine is None:
         engine = InferenceEngine(model, batch_size=batch_size)
         _ENGINES[model] = engine
+    return engine
+
+
+def adopt_engine(engine: InferenceEngine) -> InferenceEngine:
+    """Install ``engine`` as the shared :func:`engine_for` engine of its model.
+
+    The serving registry builds engines with non-default settings
+    (``pad="fixed"``, a tuned batch size) and adopts them so every other
+    consumer of the same model — including differential parity checks —
+    routes through the identical plans.
+    """
+    _ENGINES[engine.model] = engine
     return engine

@@ -563,6 +563,18 @@ class CompiledPlan:
     def n_steps(self) -> int:
         return len(self._steps)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the constant slots (densified weights, folded
+        BN tensors) after the last :meth:`refresh` — the number a serving
+        layer's plan-memory budget accounts against."""
+        total = 0
+        for i in self._const_order:
+            value = self._slots[i]
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
     def refresh(self, model: Module) -> None:
         """Recompute every constant slot from ``model``'s current state.
 

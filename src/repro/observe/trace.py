@@ -70,6 +70,8 @@ class TraceReport:
             "mean": sum(values) / len(values),
             "min": min(values),
             "max": max(values),
+            "p50": _percentile(values, 50.0),
+            "p99": _percentile(values, 99.0),
         }
 
     @property
@@ -96,6 +98,33 @@ class TraceReport:
         }
         return rollup if any(rollup.values()) else None
 
+    @property
+    def serve(self) -> dict[str, float] | None:
+        """Serving rollup: request outcomes, batching, plan-cache churn
+        (``None`` when the run served no traffic)."""
+        requests = self.counters.get("serve.requests", 0)
+        if not requests:
+            return None
+        rollup: dict[str, float] = {
+            "requests": requests,
+            "batches": self.counters.get("serve.batches", 0),
+            "shed": self.counters.get("serve.shed", 0),
+            "deadline_miss": self.counters.get("serve.deadline", 0),
+            "batch_errors": self.event_counts.get("serve.batch_error", 0),
+            "retries": self.counters.get("serve.retries", 0),
+            "plan_compiles": self.counters.get("serve.plan_compiles", 0),
+            "plan_evictions": self.counters.get("serve.plan_evictions", 0),
+        }
+        if "serve.batch_occupancy" in self.hists:
+            rollup["occupancy_mean"] = self.hist_summary(
+                "serve.batch_occupancy"
+            )["mean"]
+        if "serve.latency_s" in self.hists:
+            latency = self.hist_summary("serve.latency_s")
+            rollup["latency_p50_s"] = latency["p50"]
+            rollup["latency_p99_s"] = latency["p99"]
+        return rollup
+
     # ------------------------------------------------------------ output
     def to_dict(self) -> dict:
         out: dict[str, Any] = {
@@ -113,6 +142,8 @@ class TraceReport:
             out["cache_hit_rate"] = round(self.cache_hit_rate, 4)
         if self.resilience is not None:
             out["resilience"] = self.resilience
+        if self.serve is not None:
+            out["serve"] = self.serve
         return out
 
     def to_json(self) -> str:
@@ -155,7 +186,39 @@ class TraceReport:
                 f"{_fmt_num(r['degraded_grids'])} degraded grid(s), "
                 f"{_fmt_num(r['resumes'])} resume(s)"
             )
+        if self.serve is not None:
+            s = self.serve
+            line = (
+                "serve: "
+                f"{_fmt_num(s['requests'])} requests in "
+                f"{_fmt_num(s['batches'])} batches, "
+                f"{_fmt_num(s['shed'])} shed, "
+                f"{_fmt_num(s['deadline_miss'])} deadline-missed, "
+                f"{_fmt_num(s['batch_errors'])} batch error(s), "
+                f"{_fmt_num(s['retries'])} retried, "
+                f"{_fmt_num(s['plan_compiles'])} plan compile(s), "
+                f"{_fmt_num(s['plan_evictions'])} eviction(s)"
+            )
+            if "latency_p50_s" in s:
+                line += (
+                    f"; latency p50 {1e3 * s['latency_p50_s']:.2f}ms "
+                    f"p99 {1e3 * s['latency_p99_s']:.2f}ms"
+                )
+            lines.append(line)
         return "\n".join(lines)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile over a copy (stdlib-only on purpose:
+    the trace renderer must work on any ledger without numpy loaded)."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
 def _fmt_num(value: float) -> str:

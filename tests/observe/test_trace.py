@@ -44,6 +44,8 @@ class TestReportStructure:
             "mean": 2.0,
             "min": 1.0,
             "max": 3.0,
+            "p50": 2.0,
+            "p99": pytest.approx(2.98),
         }
         assert report.cache_hit_rate == pytest.approx(0.5)
 

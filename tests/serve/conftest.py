@@ -1,0 +1,92 @@
+"""Serve-test fixtures: tiny zoos on virtual clocks, isolated state.
+
+Every server here runs in simulated mode on a :class:`VirtualClock` with
+an injected constant service-time model, so flush windows, deadlines and
+shedding are bit-for-bit reproducible and nothing ever sleeps.  Observe
+and chaos state is reset around every test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import observe
+from repro.resilience import chaos
+from repro.serve import (
+    ModelKey,
+    ModelZooRegistry,
+    PruneServer,
+    ServeConfig,
+    VirtualClock,
+)
+from tests.conftest import make_tiny_cnn
+
+ROW_SHAPE = (3, 8, 8)
+SERVICE_S = 0.001  # virtual seconds charged per executed batch
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    observe.shutdown()
+    monkeypatch.delenv(observe.DIR_ENV, raising=False)
+    chaos.disable()
+    yield
+    chaos.disable()
+    observe.shutdown()
+
+
+def make_registry(
+    n_models: int = 2,
+    batch_size: int = 8,
+    memory_budget_bytes: int | None = None,
+    safety=None,
+) -> ModelZooRegistry:
+    """A registry of ``n_models`` tiny CNNs keyed ``cnn<i>/wt@0.5``."""
+    registry = ModelZooRegistry(
+        memory_budget_bytes=memory_budget_bytes, batch_size=batch_size
+    )
+    for i in range(n_models):
+        registry.register(
+            ModelKey(f"cnn{i}", "wt", 0.5),
+            make_tiny_cnn(seed=10 + i),
+            safety=safety,
+        )
+    return registry
+
+
+def make_server(
+    registry: ModelZooRegistry,
+    max_wait: float = 0.010,
+    max_pending: int = 64,
+    default_deadline: float | None = 0.100,
+    max_retries: int = 1,
+    service_s: float = SERVICE_S,
+) -> PruneServer:
+    """A simulated-mode server with a constant virtual service time."""
+    return PruneServer(
+        registry,
+        ServeConfig(
+            max_wait=max_wait,
+            max_pending=max_pending,
+            default_deadline=default_deadline,
+            max_retries=max_retries,
+            retry_base_delay=0.001,
+            service_time=lambda group, rows, wall: service_s,
+        ),
+        VirtualClock(),
+    )
+
+
+@pytest.fixture
+def registry() -> ModelZooRegistry:
+    return make_registry()
+
+
+@pytest.fixture
+def server(registry) -> PruneServer:
+    return make_server(registry)
+
+
+def images_for(rng: np.random.Generator, rows: int = 1) -> np.ndarray:
+    return rng.standard_normal((rows,) + ROW_SHAPE).astype(np.float32)

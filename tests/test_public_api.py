@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.parallel",
     "repro.observe",
+    "repro.serve",
     "repro.utils",
 ]
 
