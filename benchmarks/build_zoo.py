@@ -13,6 +13,7 @@ Usage::
 
     python benchmarks/build_zoo.py [--jobs N] [--on-error collect]
     python benchmarks/build_zoo.py --resume <failure-manifest.json>
+    python benchmarks/build_zoo.py --executor queue --queue-dir /shared/q
 
 ``--jobs 0`` means "all CPUs"; the default honours ``REPRO_NUM_WORKERS``
 and falls back to serial execution.  With ``--on-error collect`` a dead
@@ -83,10 +84,27 @@ def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--resume",
+        action="append",
         default=None,
         metavar="MANIFEST",
         help="re-dispatch only the failed cells recorded in this failure "
-        "manifest (from a previous --on-error collect run)",
+        "manifest (from a previous --on-error collect run); repeatable — "
+        "several manifests are merged and deduplicated",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["pool", "queue"],
+        default=None,
+        help="grid backend: in-process pool (default) or the durable work "
+        "queue, which survives crashes and accepts extra "
+        "`python -m repro worker` processes (default: REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="work-queue directory for --executor queue "
+        "(default: derived per grid, or REPRO_QUEUE_DIR)",
     )
 
 
@@ -101,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
     add_resilience_flags(parser)
     args = parser.parse_args(argv)
 
-    if args.resume is not None:
+    if args.resume:
         from repro.resilience import resume_zoo
 
         try:
@@ -112,9 +130,12 @@ def main(argv: list[str] | None = None) -> int:
                 on_error=args.on_error or "collect",
                 max_retries=args.max_retries,
                 cell_timeout=args.cell_timeout,
+                executor=args.executor,
+                queue_dir=args.queue_dir,
             )
         except FileNotFoundError:
-            print(f"error: no failure manifest at {args.resume}", file=sys.stderr)
+            missing = ", ".join(args.resume)
+            print(f"error: no failure manifest at {missing}", file=sys.stderr)
             return 2
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -127,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
             on_error=args.on_error or "raise",
             max_retries=args.max_retries,
             cell_timeout=args.cell_timeout,
+            executor=args.executor,
+            queue_dir=args.queue_dir,
         )
     for cell in timing.cells:
         status = "cached" if cell.cached else "built"

@@ -3,6 +3,7 @@
 Commands
 --------
 ``zoo``        pre-train the cached model zoo used by the benchmarks
+``worker``     drain tasks from a durable work-queue directory
 ``curve``      run one prune-retrain pipeline and print its curve
 ``potential``  prune potential per distribution for one (model, method)
 ``tables``     print the PR/FR and overparameterization tables
@@ -50,6 +51,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="per-cell deadline in seconds (default: REPRO_CELL_TIMEOUT)",
     )
+    _add_executor_flags(parser)
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=["pool", "queue"],
+        default=None,
+        help="grid execution backend: in-process pool (default) or the "
+        "durable work queue, which survives crashes and accepts extra "
+        "`python -m repro worker` processes (default: REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="work-queue directory for --executor queue (shared across "
+        "hosts for multi-host runs; default: derived per grid under the "
+        "cache dir, or REPRO_QUEUE_DIR)",
+    )
 
 
 def _resilience_kwargs(args) -> dict:
@@ -58,6 +79,8 @@ def _resilience_kwargs(args) -> dict:
         "on_error": args.on_error,
         "max_retries": args.max_retries,
         "cell_timeout": args.cell_timeout,
+        "executor": args.executor,
+        "queue_dir": args.queue_dir,
     }
 
 
@@ -93,14 +116,41 @@ def cmd_zoo(args) -> int:
         argv += ["--max-retries", str(args.max_retries)]
     if getattr(args, "cell_timeout", None) is not None:
         argv += ["--cell-timeout", str(args.cell_timeout)]
-    if getattr(args, "resume", None) is not None:
-        argv += ["--resume", args.resume]
+    if getattr(args, "executor", None) is not None:
+        argv += ["--executor", args.executor]
+    if getattr(args, "queue_dir", None) is not None:
+        argv += ["--queue-dir", args.queue_dir]
+    for manifest in getattr(args, "resume", None) or []:
+        argv += ["--resume", manifest]
     rc = build_zoo_main(argv)
     ledger = observe.current_ledger_path()
     if ledger is not None:
         print(f"run ledger: {ledger}")
         print(f"render it with: python -m repro trace {ledger}")
     return rc
+
+
+def cmd_worker(args) -> int:
+    from repro.queue import WorkQueue, run_worker
+
+    queue = WorkQueue(args.queue, lease_seconds=args.lease_seconds)
+    report = run_worker(
+        queue,
+        worker_id=args.worker_id,
+        max_tasks=args.max_tasks,
+        idle_seconds=args.idle,
+    )
+    counts = queue.counts()
+    print(
+        f"worker {report.worker}: {report.completed} completed, "
+        f"{report.failed} failed, {report.reclaimed} leases reclaimed, "
+        f"{report.duplicate} duplicate completions"
+    )
+    print(
+        f"queue: {counts['done']} done, {counts['pending']} pending, "
+        f"{counts['leased']} leased, {counts['quarantined']} quarantined"
+    )
+    return 0
 
 
 def cmd_curve(args) -> int:
@@ -283,10 +333,44 @@ def main(argv: list[str] | None = None) -> int:
     )
     zoo_parser.add_argument(
         "--resume",
+        action="append",
         default=None,
         metavar="MANIFEST",
-        help="recompute only the failed cells of a previous degraded run",
+        help="recompute only the failed cells of a previous degraded run; "
+        "repeatable — several manifests are merged and deduplicated",
     )
+    _add_executor_flags(zoo_parser)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="drain tasks from a durable work-queue directory "
+        "(see --executor queue)",
+    )
+    worker_parser.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="queue directory (the driver's --queue-dir)",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None, help="stable worker name for the journal"
+    )
+    worker_parser.add_argument(
+        "--max-tasks", type=int, default=None, help="stop after N tasks"
+    )
+    worker_parser.add_argument(
+        "--idle",
+        type=float,
+        default=0.0,
+        help="keep serving new work for this many seconds after a drain",
+    )
+    worker_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help="lease duration (default: REPRO_LEASE_SECONDS or 60)",
+    )
+    worker_parser.set_defaults(fn=cmd_worker)
     for name, fn in [("curve", cmd_curve), ("potential", cmd_potential), ("tables", cmd_tables)]:
         p = sub.add_parser(name)
         _add_common(p)

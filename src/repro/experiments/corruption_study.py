@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -115,6 +116,8 @@ def _evaluate_grid(
     on_error: str = "raise",
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> tuple[dict[tuple[int, str], PruneAccuracyCurve], GridTiming]:
     """Build required artifacts, then fan the evaluation cells out.
 
@@ -133,6 +136,7 @@ def _evaluate_grid(
         zoo_timing = build_zoo(
             zoo_specs, scale, jobs=jobs,
             on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+            executor=executor, queue_dir=queue_dir,
         )
         failures += zoo_timing.failures
         dead_reps = failed_repetitions(zoo_timing)
@@ -153,6 +157,7 @@ def _evaluate_grid(
         results, eval_failures = dispatch_cells(
             _curve_cell, payloads, keys, jobs=jobs,
             on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+            executor=executor, queue_dir=queue_dir,
         )
         failures += eval_failures
         wall = elapsed()
@@ -196,7 +201,7 @@ class CorruptionPotentialResult:
         return self.potentials[:, self.distributions.index(distribution)]
 
 
-@memoize(ignore=("jobs", "max_retries", "cell_timeout"))
+@memoize(ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"))
 def corruption_potential_experiment(
     task_name: str,
     model_name: str,
@@ -209,6 +214,8 @@ def corruption_potential_experiment(
     on_error: str = "raise",
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> CorruptionPotentialResult:
     """Prune potential on nominal, shifted, and every corrupted test set.
 
@@ -223,7 +230,7 @@ def corruption_potential_experiment(
     grid, timing = _evaluate_grid(
         f"corruption_potential[{task_name}/{model_name}/{method_name}]",
         task_name, model_name, method_name, scale, robust, named_specs, jobs,
-        on_error, max_retries, cell_timeout,
+        on_error, max_retries, cell_timeout, executor, queue_dir,
     )
     potentials = np.full((scale.n_repetitions, len(names)), np.nan)
     curves: dict[str, list[PruneAccuracyCurve]] = {n: [] for n in names}
@@ -262,7 +269,7 @@ class SeveritySweepResult:
         return self.potentials.mean(axis=0)
 
 
-@memoize(ignore=("jobs", "max_retries", "cell_timeout"))
+@memoize(ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"))
 def severity_sweep_experiment(
     task_name: str,
     model_name: str,
@@ -275,6 +282,8 @@ def severity_sweep_experiment(
     on_error: str = "raise",
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> SeveritySweepResult:
     """Prune potential of one corruption across severity levels."""
     named_specs = [
@@ -284,7 +293,7 @@ def severity_sweep_experiment(
     grid, timing = _evaluate_grid(
         f"severity_sweep[{task_name}/{model_name}/{method_name}/{corruption}]",
         task_name, model_name, method_name, scale, False, named_specs, jobs,
-        on_error, max_retries, cell_timeout,
+        on_error, max_retries, cell_timeout, executor, queue_dir,
     )
     potentials = np.full((scale.n_repetitions, len(severities)), np.nan)
     for rep in range(scale.n_repetitions):
@@ -329,6 +338,8 @@ def corruption_excess_error_experiment(
     on_error: str = "raise",
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> ExcessErrorStudyResult:
     """``ê − e`` per prune ratio, averaged over the corruption suite.
 
@@ -342,6 +353,7 @@ def corruption_excess_error_experiment(
         task_name, model_name, method_name, scale,
         corruptions=corruptions, robust=robust, jobs=jobs,
         on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+        executor=executor, queue_dir=queue_dir,
     )
     corruption_names = [
         n for n in base.distributions if n not in ("nominal", "shifted")

@@ -31,12 +31,16 @@ def dispatch_cells(
     on_error: str = "raise",
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> tuple[list, list[CellFailure]]:
     """Fan a grid's evaluation cells out; returns ``(results, failures)``.
 
     ``results`` is always aligned with ``payloads``: in collect mode a
     dead cell leaves a ``None`` hole (and one :class:`CellFailure`), in
     raise mode the first failure propagates so there are no holes.
+    ``executor="queue"`` routes the cells through the durable work queue
+    (:mod:`repro.queue`) instead of the in-process pool.
     """
     out = parallel_map(
         fn,
@@ -47,6 +51,8 @@ def dispatch_cells(
         max_retries=max_retries,
         timeout=cell_timeout,
         keys=list(keys),
+        executor=executor,
+        queue_dir=queue_dir,
     )
     if on_error == "collect":
         return list(out.results), list(out.failures)

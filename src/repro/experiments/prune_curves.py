@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -91,7 +92,7 @@ def _rep_cell(payload):
     return run.ratios, run.test_errors, run.parent_test_error, frs, timing
 
 
-@memoize(ignore=("jobs", "max_retries", "cell_timeout"))
+@memoize(ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"))
 def prune_curve_experiment(
     task_name: str,
     model_name: str,
@@ -103,6 +104,8 @@ def prune_curve_experiment(
     on_error: str = "raise",
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> PruneCurveResult:
     """Build (or load) all repetitions and collect the nominal curve.
 
@@ -121,6 +124,7 @@ def prune_curve_experiment(
         zoo_timing = build_zoo(
             zoo_specs, scale, jobs=jobs,
             on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+            executor=executor, queue_dir=queue_dir,
         )
         failures += zoo_timing.failures
         dead_reps = failed_repetitions(zoo_timing)
@@ -136,6 +140,7 @@ def prune_curve_experiment(
         results, eval_failures = dispatch_cells(
             _rep_cell, payloads, keys, jobs=jobs,
             on_error=on_error, max_retries=max_retries, cell_timeout=cell_timeout,
+            executor=executor, queue_dir=queue_dir,
         )
         failures += eval_failures
         wall = elapsed()

@@ -341,6 +341,8 @@ def build_zoo(
     max_retries: int | None = None,
     cell_timeout: float | None = None,
     manifest_dir: str | Path | None = None,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> GridTiming:
     """Materialize every artifact in ``specs`` across ``jobs`` processes.
 
@@ -361,6 +363,14 @@ def build_zoo(
     :class:`GridTiming` carries the failures and the manifest path;
     ``python -m repro zoo --resume <manifest>`` recomputes only those
     cells.
+
+    ``executor="queue"`` (or ``REPRO_EXECUTOR=queue``) routes both
+    fan-outs through the durable work queue (:mod:`repro.queue`): the
+    build survives driver and worker crashes, a re-run resumes from the
+    journal, and extra ``python -m repro worker`` processes on any host
+    sharing ``queue_dir`` can help drain the grid.  Parents and prune
+    runs use distinct queue namespaces (``queue_dir/parents`` and
+    ``queue_dir/prune``) so the two phases' journals never mix.
     """
     from repro.experiments.grid import persist_manifest
     from repro.resilience import CellFailure
@@ -369,6 +379,10 @@ def build_zoo(
     specs = list(specs)
     collect = on_error == "collect"
     failures: list[CellFailure] = []
+    parents_queue_dir = prune_queue_dir = None
+    if queue_dir is not None:
+        parents_queue_dir = Path(queue_dir) / "parents"
+        prune_queue_dir = Path(queue_dir) / "prune"
     with observe.span(
         "build_zoo", specs=len(specs), jobs=resolve_jobs(jobs), on_error=on_error
     ) as span:
@@ -384,6 +398,8 @@ def build_zoo(
                 max_retries=max_retries,
                 timeout=cell_timeout,
                 keys=[s.key(scale) for s in parents],
+                executor=executor,
+                queue_dir=parents_queue_dir,
             )
             if collect:
                 cells = [c for c in outcome.results if c is not None]
@@ -423,6 +439,8 @@ def build_zoo(
                 max_retries=max_retries,
                 timeout=cell_timeout,
                 keys=[s.key(scale) for s in runnable],
+                executor=executor,
+                queue_dir=prune_queue_dir,
             )
             if collect:
                 cells += [c for c in outcome.results if c is not None]

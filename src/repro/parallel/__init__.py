@@ -18,8 +18,17 @@ composes:
   records surfaced in results and benchmarks.
 """
 
-from repro.parallel.locks import FileLock, LockTimeout, artifact_lock, atomic_write
+from repro.parallel.locks import (
+    FileLock,
+    LockTimeout,
+    artifact_lock,
+    atomic_write,
+    fsync_dir,
+    fsync_path,
+)
 from repro.parallel.pool import (
+    EXECUTOR_ENV,
+    EXECUTORS,
     JOBS_ENV,
     START_METHOD_ENV,
     MapOutcome,
@@ -27,6 +36,7 @@ from repro.parallel.pool import (
     WorkerPool,
     default_chunksize,
     parallel_map,
+    resolve_executor,
     resolve_jobs,
     resolve_start_method,
 )
@@ -37,6 +47,10 @@ __all__ = [
     "LockTimeout",
     "artifact_lock",
     "atomic_write",
+    "fsync_dir",
+    "fsync_path",
+    "EXECUTOR_ENV",
+    "EXECUTORS",
     "JOBS_ENV",
     "START_METHOD_ENV",
     "MapOutcome",
@@ -44,6 +58,7 @@ __all__ = [
     "WorkerPool",
     "default_chunksize",
     "parallel_map",
+    "resolve_executor",
     "resolve_jobs",
     "resolve_start_method",
     "CellTiming",

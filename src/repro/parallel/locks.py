@@ -123,13 +123,54 @@ def artifact_lock(path: str | Path, timeout: float | None = None) -> FileLock:
     return FileLock(path.with_name(path.name + ".lock"), timeout=timeout)
 
 
+def fsync_path(path: str | Path) -> None:
+    """Flush ``path``'s contents to stable storage (no-op if unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without file fsync access
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without fsync support
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory entry table to stable storage.
+
+    After ``os.replace`` promotes an artifact, the *data* is durable once
+    the file was fsynced — but the rename itself lives in the parent
+    directory, which has its own write-back cache.  Without this second
+    fsync a power loss can resurface the old name (or no name at all)
+    even though the publish "succeeded".  Directories cannot be opened
+    for reading on some platforms (Windows); there this is a no-op.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 @contextmanager
-def atomic_write(path: str | Path) -> Iterator[Path]:
+def atomic_write(path: str | Path, durable: bool = True) -> Iterator[Path]:
     """Yield a temporary path that is atomically promoted to ``path``.
 
     The temporary file lives in the destination directory so the final
     ``os.replace`` never crosses filesystems.  On any error the temp file
     is removed and ``path`` is left exactly as it was.
+
+    With ``durable=True`` (the default) the staged file is fsynced before
+    the rename and the parent directory is fsynced after it, so a
+    successfully published artifact or journal entry survives power loss
+    — not just process crash.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -140,7 +181,11 @@ def atomic_write(path: str | Path) -> Iterator[Path]:
     tmp = Path(tmp_name)
     try:
         yield tmp
+        if durable:
+            fsync_path(tmp)
         os.replace(tmp, path)
+        if durable:
+            fsync_dir(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

@@ -64,6 +64,11 @@ R = TypeVar("R")
 
 JOBS_ENV = "REPRO_NUM_WORKERS"
 START_METHOD_ENV = "REPRO_MP_START"
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Valid ``executor=`` values: the in-memory worker pool (this module)
+#: and the durable on-disk work queue (:mod:`repro.queue`).
+EXECUTORS = ("pool", "queue")
 
 #: How often the collection loop wakes to launch work and check deadlines.
 _POLL_SECONDS = 0.05
@@ -142,6 +147,23 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def resolve_executor(executor: str | None = None) -> str:
+    """Explicit arg > ``REPRO_EXECUTOR`` > ``"pool"``.
+
+    ``"pool"`` is the in-memory worker pool below; ``"queue"`` routes the
+    map through the durable work queue (:func:`repro.queue.queue_map`),
+    which survives driver and worker crashes and admits workers from
+    other processes and hosts.
+    """
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV, "").strip() or "pool"
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    return executor
 
 
 def resolve_start_method(start_method: str | None = None) -> str:
@@ -491,6 +513,8 @@ def parallel_map(
     retry_policy: RetryPolicy | None = None,
     timeout: float | None = None,
     keys: Sequence[str] | Callable[[T], str] | None = None,
+    executor: str | None = None,
+    queue_dir: str | os.PathLike | None = None,
 ) -> list[R] | MapOutcome:
     """Map ``fn`` over ``items`` across ``jobs`` worker processes.
 
@@ -515,9 +539,29 @@ def parallel_map(
     - ``keys`` — stable per-cell names (a sequence, or a callable applied
       to each item) used for manifests, backoff jitter, and chaos
       seeding; defaults to ``item-<index>``.
+    - ``executor`` — ``"pool"`` (default, this module) or ``"queue"``:
+      route the map through the durable on-disk work queue
+      (:mod:`repro.queue`), which survives driver/worker crashes, resumes
+      finished cells from its journal, and accepts extra workers from
+      other hosts.  ``queue_dir`` pins the queue directory (required for
+      multi-host runs; otherwise derived from the grid identity).
+      Overridable per run via ``REPRO_EXECUTOR``.
     """
     if not callable(fn):
         raise ValueError(f"fn must be callable, got {type(fn).__name__}")
+    if resolve_executor(executor) == "queue":
+        from repro.queue.executor import queue_map
+
+        return queue_map(
+            fn,
+            items,
+            jobs,
+            keys=keys,
+            queue_dir=queue_dir,
+            on_error=on_error,
+            max_retries=max_retries,
+            ordered=ordered,
+        )
     if chunksize is not None:
         if not isinstance(chunksize, int) or isinstance(chunksize, bool):
             raise ValueError(f"chunksize must be an int, got {chunksize!r}")

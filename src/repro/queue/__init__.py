@@ -1,0 +1,63 @@
+"""Durable, lease-based work queue for crash-safe multi-worker grids.
+
+``repro.parallel`` fans a grid out across the worker processes of *one*
+driver; if that driver dies, the run dies with it, and a second host has
+no way to help.  This package makes the grid itself durable: every cell
+becomes one idempotent task in an append-only JSONL **journal** on a
+shared filesystem, and any number of workers — spawned by the driver,
+started by hand (``python -m repro worker --queue <dir>``), or running
+on another host — claim tasks via **leases** with heartbeat renewal.
+
+- :mod:`repro.queue.journal` — the durable record store: atomic,
+  fsync'd appends under the per-artifact file lock, torn-tail-tolerant
+  replay, incremental catch-up reads;
+- :mod:`repro.queue.core` — :class:`WorkQueue`, the lease state machine:
+  ``pending → leased → done`` with ``fail``/``reclaim`` returning a task
+  to pending until its lease budget is burned, after which it is
+  **quarantined** as poison with a
+  :class:`~repro.resilience.failures.CellFailure`-compatible record;
+- :mod:`repro.queue.worker` — the claim → execute → heartbeat →
+  complete loop behind ``python -m repro worker``;
+- :mod:`repro.queue.executor` — :func:`queue_map`, the
+  ``executor="queue"`` path of :func:`repro.parallel.parallel_map`:
+  enqueue the cells, supervise local workers, reclaim stale leases, and
+  return the same ``list`` / :class:`~repro.parallel.MapOutcome` shape
+  the in-process pool produces.
+
+Execution is **at-least-once**: a lease reclaimed from a slow-but-alive
+worker can make two workers run one cell concurrently.  That is safe by
+construction — every cell is idempotent and publishes through the
+memo/artifact layer's per-artifact file locks and atomic, fsync'd
+replaces, so duplicated work converges on identical artifacts and the
+journal's first ``done`` wins.  Time only enters through the injectable
+clock seam from :mod:`repro.serve.clock` (wall clock in production,
+:class:`~repro.serve.clock.VirtualClock` in tests), so the whole lease
+lifecycle is testable without a single wall sleep.
+"""
+
+from repro.queue.core import (
+    LEASE_SECONDS_ENV,
+    QUEUE_DIR_ENV,
+    Lease,
+    TaskSpec,
+    TaskView,
+    WorkQueue,
+)
+from repro.queue.executor import queue_map, resolve_queue_dir
+from repro.queue.journal import Journal
+from repro.queue.worker import WorkerReport, run_worker, task_fn_path
+
+__all__ = [
+    "Journal",
+    "Lease",
+    "LEASE_SECONDS_ENV",
+    "QUEUE_DIR_ENV",
+    "TaskSpec",
+    "TaskView",
+    "WorkQueue",
+    "WorkerReport",
+    "queue_map",
+    "resolve_queue_dir",
+    "run_worker",
+    "task_fn_path",
+]

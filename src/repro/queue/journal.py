@@ -1,0 +1,121 @@
+"""The queue's durable record store: an append-only JSONL journal.
+
+Every queue transition — task added, lease claimed, heartbeat renewed,
+task done, failed, reclaimed, quarantined — is one JSON line appended to
+``journal.jsonl`` in the queue directory.  The journal is the *only*
+source of truth: queue state is a pure fold over its records, so any
+process (a worker on another host, a resumed driver, ``python -m repro
+trace`` tooling) reconstructs the identical state by replaying it.
+
+Durability discipline
+---------------------
+- Appends happen only while holding the queue's file lock (the caller's
+  responsibility — :class:`repro.queue.core.WorkQueue` wraps every
+  mutation), so records never interleave;
+- each append writes the full line, flushes, and **fsyncs the file**;
+  the first append also fsyncs the parent directory so the journal's
+  *name* survives power loss (see ``repro.parallel.locks.fsync_dir``);
+- a crash can still leave a torn final line (the write reached the page
+  cache but not the full line).  Replay skips unparseable lines, and the
+  next append **repairs** the tail first — if the file does not end in a
+  newline, one is inserted so the new record never fuses with the torn
+  bytes.
+
+Readers keep a byte offset and only parse records appended since their
+last look (:meth:`Journal.read_new`), so a queue with thousands of tasks
+costs each heartbeat an O(new records) catch-up, not a full replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.parallel.locks import fsync_dir
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class Journal:
+    """Append-only JSONL store with fsync'd writes and incremental reads.
+
+    Not itself thread/process safe: callers serialize mutations under the
+    queue lock.  Concurrent *readers* are always safe (appends are the
+    only mutation and replay tolerates a torn tail).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._offset = 0  # bytes of the journal this reader has consumed
+        self._tail = b""  # trailing partial line carried between reads
+
+    # ------------------------------------------------------------- append
+    def append(self, record: dict) -> None:
+        """Durably append one record (one JSON line).
+
+        Must be called under the queue lock.  The file is fsynced before
+        returning, so an acknowledged record survives power loss; the
+        directory entry is fsynced when the append creates the journal.
+        """
+        created = not self.path.exists()
+        if created:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            # Tail repair: a previous writer may have died mid-append,
+            # leaving bytes without a terminating newline.  Appending
+            # directly would fuse this record onto the torn line and lose
+            # both; a leading newline isolates the damage to the old one.
+            size = os.fstat(fd).st_size
+            payload = (line + "\n").encode("utf-8")
+            if size > 0:
+                with open(self.path, "rb") as fh:
+                    fh.seek(size - 1)
+                    if fh.read(1) != b"\n":
+                        payload = b"\n" + payload
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if created:
+            fsync_dir(self.path.parent)
+
+    # -------------------------------------------------------------- reads
+    def read_new(self) -> list[dict]:
+        """Records appended since this reader's last call (may be empty).
+
+        Only complete, parseable lines are returned; a trailing partial
+        line is buffered and retried on the next call (it may simply not
+        be fully visible yet).  Unparseable *complete* lines — a torn
+        write later repaired by :meth:`append` — are skipped.
+        """
+        if not self.path.exists():
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            chunk = fh.read()
+        if not chunk:
+            return []
+        self._offset += len(chunk)
+        data = self._tail + chunk
+        lines = data.split(b"\n")
+        self._tail = lines.pop()  # b"" when data ends in a newline
+        records = []
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn line isolated by a later tail repair
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def read_all(self) -> list[dict]:
+        """All records from the start (independent of the reader offset)."""
+        fresh = Journal(self.path)
+        return fresh.read_new()

@@ -29,12 +29,18 @@ from repro.resilience.failures import (
     KIND_CRASH,
     KIND_DEPENDENCY,
     KIND_EXCEPTION,
+    KIND_QUARANTINE,
     KIND_TIMEOUT,
     CellFailure,
     FailureManifest,
     default_manifest_path,
 )
-from repro.resilience.resume import load_manifest, resume_zoo, zoo_specs_from_manifest
+from repro.resilience.resume import (
+    load_manifest,
+    load_manifests,
+    resume_zoo,
+    zoo_specs_from_manifest,
+)
 from repro.resilience.retry import (
     CELL_TIMEOUT_ENV,
     MAX_RETRIES_ENV,
@@ -58,6 +64,7 @@ __all__ = [
     "KIND_CRASH",
     "KIND_TIMEOUT",
     "KIND_DEPENDENCY",
+    "KIND_QUARANTINE",
     "RetryPolicy",
     "MAX_RETRIES_ENV",
     "CELL_TIMEOUT_ENV",
@@ -69,6 +76,7 @@ __all__ = [
     "stable_seed",
     "stable_unit",
     "load_manifest",
+    "load_manifests",
     "resume_zoo",
     "zoo_specs_from_manifest",
 ]

@@ -25,6 +25,11 @@ KIND_EXCEPTION = "exception"  # fn raised inside the worker
 KIND_CRASH = "crash"  # worker process died without reporting a result
 KIND_TIMEOUT = "timeout"  # cell exceeded its deadline; worker was replaced
 KIND_DEPENDENCY = "dependency"  # an upstream cell (e.g. the parent) failed
+KIND_QUARANTINE = "quarantine"  # task burned its lease budget on the queue
+
+
+def _wall_stamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S")
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,14 @@ class CellFailure:
     remote_traceback: str = ""
     retryable: bool = False
     payload: dict[str, Any] | None = None
+    #: Wall-clock time the failure was recorded (auto-stamped); lets a
+    #: post-mortem line failures up against the run ledger, and lets a
+    #: manifest accumulated across retries keep only the latest record.
+    timestamp: str = ""
+
+    def __post_init__(self):
+        if not self.timestamp:
+            object.__setattr__(self, "timestamp", _wall_stamp())
 
     def describe(self) -> str:
         """One human line: ``key: kind ErrorType: message (n attempts)``."""
@@ -114,10 +127,28 @@ class FailureManifest:
             failures=[CellFailure(**f) for f in data.get("failures", [])],
         )
 
+    def deduped(self) -> list[CellFailure]:
+        """Entries collapsed on ``(key, kind)``, keeping the latest record.
+
+        A cell retried across several degraded rounds (or merged from
+        several manifests) accumulates one entry per round; only the most
+        recent one matters for resume and post-mortems.  Order follows the
+        first occurrence of each ``(key, kind)``.
+        """
+        latest: dict[tuple[str, str], CellFailure] = {}
+        for failure in self.failures:
+            latest[(failure.key, failure.kind)] = failure
+        return list(latest.values())
+
     def save(self, path: str | Path) -> Path:
-        """Atomically publish this manifest to ``path`` (JSON)."""
+        """Atomically publish this manifest to ``path`` (JSON).
+
+        Identical ``(key, kind)`` entries accumulated across retries are
+        deduplicated (latest wins) before the write.
+        """
         from repro.parallel.locks import atomic_write
 
+        self.failures = self.deduped()
         path = Path(path)
         with atomic_write(path) as tmp:
             tmp.write_text(self.to_json(), encoding="utf-8")

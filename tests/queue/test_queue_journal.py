@@ -1,0 +1,88 @@
+"""The append-only JSONL journal: durability, tail repair, incremental reads."""
+
+from __future__ import annotations
+
+import json
+
+from repro.queue.journal import Journal
+
+
+class TestAppend:
+    def test_append_creates_file_and_round_trips(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"op": "add", "task": "a"})
+        journal.append({"op": "claim", "task": "a", "lease": "w.1"})
+        assert journal.read_all() == [
+            {"op": "add", "task": "a"},
+            {"op": "claim", "task": "a", "lease": "w.1"},
+        ]
+
+    def test_appends_are_one_json_line_each(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"op": "add", "task": "a", "n": 1})
+        journal.append({"op": "add", "task": "b", "n": 2})
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["op"] == "add" for line in lines)
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = Journal(tmp_path / "deep" / "nested" / "journal.jsonl")
+        journal.append({"op": "add", "task": "a"})
+        assert journal.read_all() == [{"op": "add", "task": "a"}]
+
+    def test_tail_repair_isolates_torn_line(self, tmp_path):
+        """A crash mid-append leaves a torn final line; the next append
+        must not fuse onto it — the torn record is lost, the new one
+        survives."""
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.append({"op": "add", "task": "a"})
+        with open(path, "ab") as fh:  # simulate a torn write (no newline)
+            fh.write(b'{"op": "add", "task": "torn-and-inco')
+        journal.append({"op": "add", "task": "b"})
+        records = Journal(path).read_all()
+        assert records == [
+            {"op": "add", "task": "a"},
+            {"op": "add", "task": "b"},
+        ]
+
+
+class TestReadNew:
+    def test_incremental_reads_return_only_new_records(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"n": 1})
+        reader = Journal(tmp_path / "journal.jsonl")
+        assert [r["n"] for r in reader.read_new()] == [1]
+        assert reader.read_new() == []
+        journal.append({"n": 2})
+        journal.append({"n": 3})
+        assert [r["n"] for r in reader.read_new()] == [2, 3]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").read_new() == []
+
+    def test_partial_tail_buffered_until_complete(self, tmp_path):
+        """A reader that sees a half-written line holds it back and
+        completes it on the next read once the rest arrives."""
+        path = tmp_path / "journal.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(b'{"n": 1}\n{"n": ')
+        reader = Journal(path)
+        assert [r["n"] for r in reader.read_new()] == [1]
+        with open(path, "ab") as fh:
+            fh.write(b"2}\n")
+        assert [r["n"] for r in reader.read_new()] == [2]
+
+    def test_unparseable_complete_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(b'{"n": 1}\nnot json at all\n{"n": 2}\n[1, 2]\n')
+        records = Journal(path).read_all()
+        assert [r["n"] for r in records] == [1, 2]  # non-dicts dropped too
+
+    def test_read_all_is_offset_independent(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"n": 1})
+        journal.read_new()
+        journal.append({"n": 2})
+        assert [r["n"] for r in journal.read_all()] == [1, 2]

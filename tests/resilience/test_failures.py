@@ -114,6 +114,81 @@ class TestFailureManifest:
         assert [f.key for f in manifest] == ["a", "b"]
 
 
+class TestTimestampAndDedupe:
+    def test_failure_auto_stamps_wall_clock(self):
+        stamp = _failure().timestamp
+        assert stamp and stamp[4] == "-" and "T" in stamp  # ISO-ish
+        assert _failure(timestamp="2026-01-01T00:00:00").timestamp == (
+            "2026-01-01T00:00:00"
+        )
+
+    def test_timestamp_survives_save_load(self, tmp_path):
+        failure = _failure(timestamp="2026-01-01T00:00:00")
+        path = FailureManifest("g", [failure]).save(tmp_path / "m.json")
+        [loaded] = FailureManifest.load(path).failures
+        assert loaded.timestamp == "2026-01-01T00:00:00"
+
+    def test_deduped_keeps_latest_per_key_kind(self):
+        old = _failure("a", timestamp="2026-01-01T00:00:00", attempts=1)
+        new = _failure("a", timestamp="2026-01-02T00:00:00", attempts=2)
+        other_kind = _failure("a", kind=KIND_TIMEOUT)
+        manifest = FailureManifest("g", [old, other_kind, new])
+        deduped = manifest.deduped()
+        assert [(f.key, f.kind) for f in deduped] == [
+            ("a", KIND_EXCEPTION),
+            ("a", KIND_TIMEOUT),
+        ]
+        assert deduped[0].attempts == 2  # latest record won
+
+    def test_save_dedupes_before_writing(self, tmp_path):
+        manifest = FailureManifest("g", [_failure("a"), _failure("a")])
+        path = manifest.save(tmp_path / "m.json")
+        assert len(FailureManifest.load(path)) == 1
+
+
+class TestMultiManifest:
+    def _zoo_failure(self, key, repetition=0):
+        return _failure(
+            key,
+            payload={"kind": "zoo", "task": "cifar", "model": "resnet20",
+                     "method": "wt", "repetition": repetition, "robust": False},
+        )
+
+    def test_load_manifests_accepts_one_or_many(self, tmp_path):
+        from repro.resilience import load_manifests
+
+        manifest = FailureManifest("g", [_failure("a")])
+        path = manifest.save(tmp_path / "m.json")
+        assert [m.label for m in load_manifests(manifest)] == ["g"]
+        assert [m.label for m in load_manifests(path)] == ["g"]
+        assert [m.label for m in load_manifests([manifest, path])] == ["g", "g"]
+
+    def test_specs_merge_and_dedupe_across_manifests(self):
+        from repro.resilience.resume import zoo_specs_from_manifest
+
+        first = FailureManifest(
+            "g1", [self._zoo_failure("a", 0), self._zoo_failure("b", 1)]
+        )
+        second = FailureManifest(
+            "g2", [self._zoo_failure("a", 0), self._zoo_failure("c", 2)]
+        )
+        specs = zoo_specs_from_manifest([first, second])
+        assert [s.repetition for s in specs] == [0, 1, 2]  # "a" deduped
+
+    def test_resume_merged_manifests_with_no_zoo_cells_raises(self, tmp_path):
+        from repro.resilience import resume_zoo
+
+        first = FailureManifest("g1", [_failure("a", payload=None)])
+        second = FailureManifest("g2", [_failure("b", payload=None)])
+        with pytest.raises(ValueError, match="no resumable zoo cells"):
+            resume_zoo([first, second], scale=_DigestScale())
+
+
+class _DigestScale:
+    def digest(self):
+        return "micro-digest"
+
+
 class TestDefaultManifestPath:
     def test_label_sanitized_and_pid_suffixed(self, tmp_path):
         import os

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.parallel",
+    "repro.queue",
     "repro.observe",
     "repro.serve",
     "repro.utils",
