@@ -36,6 +36,9 @@ BENCH_ZOO: list[tuple[str, str, str, int, bool]] = [
     ("cifar", "resnet20", "sipp", 2, False),
     ("cifar", "resnet20", "ft", 2, False),
     ("cifar", "resnet20", "pfp", 2, False),
+    ("cifar", "resnet20", "lowrank", 2, False),
+    ("cifar", "resnet20", "uniform", 2, False),
+    ("cifar", "resnet20", "random", 2, False),
     ("cifar", "resnet20", "wt", 2, True),
     ("cifar", "resnet20", "ft", 2, True),
     ("cifar", "vgg16", "wt", 2, False),

@@ -4,9 +4,14 @@ Commands
 --------
 ``zoo``        pre-train the cached model zoo used by the benchmarks
 ``worker``     drain tasks from a durable work-queue directory
+``methods``    list the registered pruning methods and their hyperparameters
 ``curve``      run one prune-retrain pipeline and print its curve
 ``potential``  prune potential per distribution for one (model, method)
 ``tables``     print the PR/FR and overparameterization tables
+
+``--method`` accepts any registry spec string — a method name with
+optional keyword hyperparameters, e.g. ``wt``, ``lowrank(rank_frac=0.25)``
+or ``random(seed=3)``; run ``python -m repro methods`` for the catalog.
 ``verify``     audit cached artifacts (mask/weight consistency, accounting)
 ``trace``      render a run ledger (span tree + metric rollups)
 ``serve-bench``  load-test the serving layer and write ``BENCH_serve.json``
@@ -20,10 +25,34 @@ import sys
 import numpy as np
 
 
+def _method_spec(text: str) -> str:
+    """Argparse type: validate + canonicalize a registry spec string."""
+    from repro.pruning import available_methods, canonical_spec
+
+    try:
+        return canonical_spec(text)
+    except (KeyError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"{exc} (registered methods: {', '.join(available_methods())})"
+        )
+
+
+def _method_specs(text: str) -> list[str]:
+    """Argparse type: comma-separated list of registry spec strings."""
+    return [_method_spec(part) for part in text.split(",") if part.strip()]
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--task", default="cifar", choices=["cifar", "imagenet", "voc"])
     parser.add_argument("--model", default="resnet20")
-    parser.add_argument("--method", default="wt", choices=["wt", "sipp", "ft", "pfp"])
+    parser.add_argument(
+        "--method",
+        default="wt",
+        type=_method_spec,
+        metavar="SPEC",
+        help="registry spec string, e.g. wt, lowrank(rank_frac=0.25); "
+        "see `python -m repro methods`",
+    )
     parser.add_argument("--repetitions", type=int, default=None)
     parser.add_argument(
         "--jobs",
@@ -201,11 +230,19 @@ def cmd_tables(args) -> int:
 
     scale = _scale(args)
     knobs = _resilience_kwargs(args)
-    _, text = pr_fr_table(args.task, [args.model], ["wt", "ft"], scale, **knobs)
+    methods = args.methods  # None → every registered method
+    _, text = pr_fr_table(args.task, [args.model], methods, scale, **knobs)
     print(text)
     print()
-    _, text = overparam_table(args.task, [args.model], ["wt", "ft"], scale, **knobs)
+    _, text = overparam_table(args.task, [args.model], methods, scale, **knobs)
     print(text)
+    return 0
+
+
+def cmd_methods(args) -> int:
+    from repro.pruning import describe_methods
+
+    print(describe_methods())
     return 0
 
 
@@ -374,7 +411,21 @@ def main(argv: list[str] | None = None) -> int:
     for name, fn in [("curve", cmd_curve), ("potential", cmd_potential), ("tables", cmd_tables)]:
         p = sub.add_parser(name)
         _add_common(p)
+        if name == "tables":
+            p.add_argument(
+                "--methods",
+                default=None,
+                type=_method_specs,
+                metavar="SPEC[,SPEC...]",
+                help="comma-separated registry spec strings "
+                "(default: every registered method)",
+            )
         p.set_defaults(fn=fn)
+
+    methods_parser = sub.add_parser(
+        "methods", help="list registered pruning methods and hyperparameters"
+    )
+    methods_parser.set_defaults(fn=cmd_methods)
 
     verify_parser = sub.add_parser(
         "verify", help="audit cached artifacts or a zoo directory"

@@ -29,6 +29,7 @@ from repro.experiments.grid import (
     persist_manifest,
 )
 from repro.experiments.memo import memoize
+from repro.pruning import canonical_spec
 from repro.experiments.zoo import (
     ZooSpec,
     build_zoo,
@@ -201,7 +202,10 @@ class CorruptionPotentialResult:
         return self.potentials[:, self.distributions.index(distribution)]
 
 
-@memoize(ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"))
+@memoize(
+    ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"),
+    normalize={"method_name": canonical_spec},
+)
 def corruption_potential_experiment(
     task_name: str,
     model_name: str,
@@ -269,7 +273,10 @@ class SeveritySweepResult:
         return self.potentials.mean(axis=0)
 
 
-@memoize(ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"))
+@memoize(
+    ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"),
+    normalize={"method_name": canonical_spec},
+)
 def severity_sweep_experiment(
     task_name: str,
     model_name: str,

@@ -16,7 +16,8 @@ experiment with a different parallelism must hit the cache.
 from __future__ import annotations
 
 import functools
-from typing import Callable, TypeVar
+import inspect
+from typing import Callable, Mapping, TypeVar
 
 F = TypeVar("F", bound=Callable)
 
@@ -51,16 +52,29 @@ def cache_key(args: tuple, kwargs: dict, ignore: tuple[str, ...] = ()) -> tuple:
     )
 
 
-def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
+def memoize(
+    fn: F | None = None,
+    *,
+    ignore: tuple[str, ...] = (),
+    normalize: Mapping[str, Callable] | None = None,
+) -> F:
     """Cache results keyed by :func:`cache_key` over the call's arguments.
 
     ``ignore`` names keyword arguments left out of the cache key (pass
     result-neutral knobs like ``jobs`` there as keywords, not
     positionally).
+
+    ``normalize`` maps parameter names to canonicalizers applied before
+    keying *and* before the call — e.g. a pruning-method spec string is
+    rewritten to its canonical form, so ``"WT(steps=1)"`` and ``"wt"``
+    share one cache entry (and one result label) instead of recomputing.
     """
     if fn is None:
-        return functools.partial(memoize, ignore=ignore)  # type: ignore[return-value]
+        return functools.partial(  # type: ignore[return-value]
+            memoize, ignore=ignore, normalize=normalize
+        )
     cache: dict = {}
+    sig = inspect.signature(fn) if normalize else None
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
@@ -68,6 +82,12 @@ def memoize(fn: F | None = None, *, ignore: tuple[str, ...] = ()) -> F:
         # may still be initializing when memoized functions are defined.
         from repro import observe
 
+        if normalize:
+            bound = sig.bind(*args, **kwargs)
+            for name, canon in normalize.items():
+                if name in bound.arguments:
+                    bound.arguments[name] = canon(bound.arguments[name])
+            args, kwargs = bound.args, bound.kwargs
         key = cache_key(args, kwargs, ignore)
         if key not in cache:
             observe.incr("memo.miss", fn=fn.__name__)

@@ -33,6 +33,7 @@ from repro.experiments.zoo import (
 from repro.nn.flops import count_flops
 from repro.nn.module import preserve_state
 from repro.parallel import CellTiming, GridTiming, resolve_jobs, stopwatch
+from repro.pruning import canonical_spec
 from repro.pruning.pipeline import PruneRun
 from repro.verify import runtime as verify_runtime
 
@@ -92,7 +93,10 @@ def _rep_cell(payload):
     return run.ratios, run.test_errors, run.parent_test_error, frs, timing
 
 
-@memoize(ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"))
+@memoize(
+    ignore=("jobs", "max_retries", "cell_timeout", "executor", "queue_dir"),
+    normalize={"method_name": canonical_spec},
+)
 def prune_curve_experiment(
     task_name: str,
     model_name: str,

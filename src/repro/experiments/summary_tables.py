@@ -23,15 +23,23 @@ from repro.experiments.prune_curves import (
 )
 from repro.experiments.corruption_study import corruption_potential_experiment
 from repro.experiments.robust_study import robust_potential_experiment
+from repro.pruning import available_methods, canonical_spec
 from repro.training.robust import default_robust_protocol
 from repro.utils.tables import format_table
+
+
+def resolve_method_names(method_names: Sequence[str] | None) -> list[str]:
+    """Canonical spec strings, defaulting to every registered method."""
+    if method_names is None:
+        return available_methods()
+    return [canonical_spec(name) for name in method_names]
 
 
 def pr_fr_table(
     task_name: str,
     model_names: Sequence[str],
-    method_names: Sequence[str],
-    scale: ExperimentScale,
+    method_names: Sequence[str] | None = None,
+    scale: ExperimentScale = ExperimentScale(),
     *,
     jobs: int | None = None,
     on_error: str = "raise",
@@ -40,7 +48,12 @@ def pr_fr_table(
     executor: str | None = None,
     queue_dir: str | Path | None = None,
 ) -> tuple[list[PruneSummaryRow], str]:
-    """Rows + rendered text of the Table 4/6/8 analog."""
+    """Rows + rendered text of the Table 4/6/8 analog.
+
+    ``method_names=None`` enumerates every registered pruning method; an
+    explicit list may use any registry spec strings.
+    """
+    method_names = resolve_method_names(method_names)
     rows = []
     for model_name in model_names:
         for method_name in method_names:
@@ -82,8 +95,8 @@ class OverparamRow:
 def overparam_table(
     task_name: str,
     model_names: Sequence[str],
-    method_names: Sequence[str],
-    scale: ExperimentScale,
+    method_names: Sequence[str] | None = None,
+    scale: ExperimentScale = ExperimentScale(),
     robust: bool = False,
     *,
     jobs: int | None = None,
@@ -99,7 +112,10 @@ def overparam_table(
     data}; test distribution = all corruptions.  Robust training (Tables
     12/13): train distribution = nominal + Table-11 train corruptions; test
     distribution = shifted set + held-out corruptions.
+
+    ``method_names=None`` enumerates every registered pruning method.
     """
+    method_names = resolve_method_names(method_names)
     rows = []
     protocol = default_robust_protocol(scale.severity)
     for model_name in model_names:

@@ -43,7 +43,7 @@ from repro.parallel import (
     resolve_jobs,
     stopwatch,
 )
-from repro.pruning import PruneRetrain, PruneRun, build_method
+from repro.pruning import PruneRetrain, PruneRun, build_method, canonical_spec
 from repro.training import TrainConfig, Trainer, default_robust_protocol
 from repro.utils.rng import as_rng
 from repro.utils.serialization import save_state, try_load_state
@@ -65,13 +65,23 @@ def clear_cache() -> None:
 
 @dataclass(frozen=True)
 class ZooSpec:
-    """Identity of one zoo artifact."""
+    """Identity of one zoo artifact.
+
+    ``method_name`` accepts any registry spec string (``"wt"``,
+    ``"lowrank(rank_frac=0.25)"``) and is normalized to its canonical form
+    at construction, so equal method configurations always share one cache
+    artifact and distinct hyperparameter settings never collide.
+    """
 
     task_name: str = "cifar"  # cifar | imagenet | voc
     model_name: str = "resnet20"
     method_name: str | None = None
     repetition: int = 0
     robust: bool = False
+
+    def __post_init__(self) -> None:
+        if self.method_name is not None:
+            object.__setattr__(self, "method_name", canonical_spec(self.method_name))
 
     def key(self, scale: ExperimentScale) -> str:
         method = self.method_name or "parent"

@@ -1,15 +1,22 @@
 """Pruning methods and the PRUNERETRAIN pipeline (Algorithm 1).
 
-Four methods, as in Table 1 of the paper:
+Methods live in a declarative registry (:mod:`repro.pruning.registry`):
+each is a composable spec — scoring family x allocation policy x schedule
+— with typed hyperparameters, addressable as strings like ``"wt"`` or
+``"lowrank(rank_frac=0.5)"``.  The paper's four methods (Table 1) plus the
+registry's baseline/decomposition families:
 
-============  ============  =============  ======================  ========
-Method        Type          Data-informed  Sensitivity             Scope
-============  ============  =============  ======================  ========
+============  ============  =============  ======================  ==========
+Method        Type          Data-informed  Scoring                 Allocation
+============  ============  =============  ======================  ==========
 WT            unstructured  no             ``|W_ij|``              global
 SiPP          unstructured  yes            ``∝ |W_ij a_j(x)|``     global
-FT            structured    no             ``‖W_:j‖₁``             local
-PFP           structured    yes            ``∝ ‖W_:j a(x)‖_∞``     local
-============  ============  =============  ======================  ========
+FT            structured    no             ``‖W_:j‖₁``             solver
+PFP           structured    yes            ``∝ ‖W_:j a(x)‖_∞``     solver
+lowrank       structured    no             truncated-SVD energy    solver
+uniform       unstructured  no             ``|W_ij|``              uniform
+random        unstructured  no             seeded noise            global
+============  ============  =============  ======================  ==========
 """
 
 from repro.pruning.mask import (
@@ -18,13 +25,31 @@ from repro.pruning.mask import (
     structured_prunable_layers,
     total_prunable_weights,
 )
-from repro.pruning.base import ActivationStats, PruneMethod, collect_activation_stats
+from repro.pruning.base import (
+    ActivationStats,
+    PruneMethod,
+    collect_activation_stats,
+    global_threshold_prune,
+    uniform_threshold_prune,
+)
 from repro.pruning.wt import WeightThresholding
 from repro.pruning.sipp import SiPP
 from repro.pruning.ft import FilterThresholding
 from repro.pruning.pfp import ProvableFilterPruning
+from repro.pruning.lowrank import LowRankDecomposition
+from repro.pruning.baselines import RandomPruning, UniformMagnitude
 from repro.pruning.pipeline import PruneCheckpoint, PruneRetrain, PruneRun
-from repro.pruning.registry import available_methods, build_method
+from repro.pruning.spec import HyperParam, MethodSpec, SpecError, parse_spec
+from repro.pruning.registry import (
+    available_methods,
+    available_specs,
+    build_method,
+    canonical_spec,
+    describe_methods,
+    method_spec,
+    register_method,
+    spec_of,
+)
 
 __all__ = [
     "prunable_layers",
@@ -34,13 +59,28 @@ __all__ = [
     "PruneMethod",
     "ActivationStats",
     "collect_activation_stats",
+    "global_threshold_prune",
+    "uniform_threshold_prune",
     "WeightThresholding",
     "SiPP",
     "FilterThresholding",
     "ProvableFilterPruning",
+    "LowRankDecomposition",
+    "UniformMagnitude",
+    "RandomPruning",
     "PruneRetrain",
     "PruneRun",
     "PruneCheckpoint",
+    "HyperParam",
+    "MethodSpec",
+    "SpecError",
+    "parse_spec",
     "available_methods",
+    "available_specs",
     "build_method",
+    "canonical_spec",
+    "describe_methods",
+    "method_spec",
+    "register_method",
+    "spec_of",
 ]

@@ -4,6 +4,14 @@ A :class:`PruneMethod` installs masks so the model's *cumulative* weight
 prune ratio reaches a target.  Methods are monotone by construction: already
 masked weights are never revived, so iterative pruning (Algorithm 1) only
 ever removes more.
+
+:meth:`PruneMethod.prune` is a template method: it validates the target,
+expands the method's schedule (``steps=1`` is one-shot; ``steps=N`` walks
+to the target in N equal sub-steps, re-scoring between them) and calls the
+family-specific :meth:`PruneMethod._prune_step` per sub-target.  The
+allocation helpers shared by the unstructured families live here too:
+:func:`global_threshold_prune` (one threshold across all layers) and
+:func:`uniform_threshold_prune` (the same fraction in every layer).
 """
 
 from __future__ import annotations
@@ -70,13 +78,24 @@ def collect_activation_stats(model: Module, sample_inputs: np.ndarray) -> Activa
 
 
 class PruneMethod(abc.ABC):
-    """Interface shared by all pruning methods."""
+    """Interface shared by all pruning methods.
+
+    Subclasses implement :meth:`_prune_step`; the public :meth:`prune`
+    handles validation and the schedule.  Registered methods (see
+    :mod:`repro.pruning.registry`) must store each declared hyperparameter
+    as an instance attribute of the same name so live instances serialize
+    back to their exact spec string.
+    """
 
     name: str = "base"
     structured: bool = False
     data_informed: bool = False
 
-    @abc.abstractmethod
+    def __init__(self, steps: int = 1):
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.steps = int(steps)
+
     def prune(
         self,
         model: Module,
@@ -88,6 +107,47 @@ class PruneMethod(abc.ABC):
         ``sample_inputs`` (normalized) is required by data-informed methods.
         Returns the achieved ratio.
         """
+        self._validate(model, target_ratio)
+        sample = self._require_sample(sample_inputs)
+        achieved = current = model_prune_ratio(model)
+        for sub_target in self._schedule(current, target_ratio):
+            achieved = self._prune_step(model, sub_target, sample)
+        return achieved
+
+    @abc.abstractmethod
+    def _prune_step(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None,
+    ) -> float:
+        """One scored prune step to cumulative ``target_ratio``."""
+
+    def _schedule(self, current: float, target: float) -> list[float]:
+        """The sub-targets of one prune call (linear in the weight ratio)."""
+        if self.steps == 1 or target <= current:
+            return [target]
+        return [
+            current + (target - current) * (k / self.steps)
+            for k in range(1, self.steps + 1)
+        ]
+
+    def spec_string(self) -> str:
+        """Canonical spec string of this instance (see the registry)."""
+        from repro.pruning.registry import spec_of
+
+        return spec_of(self)
+
+    def hyperparameters(self) -> dict:
+        """The instance's resolved hyperparameter bindings (incl. defaults)."""
+        spec = getattr(type(self), "spec", None)
+        if spec is None:
+            return {}
+        return {
+            hp.name: getattr(self, hp.name)
+            for hp in spec.hyperparams
+            if hasattr(self, hp.name)
+        }
 
     def _validate(self, model: Module, target_ratio: float) -> None:
         if not 0.0 <= target_ratio < 1.0:
@@ -142,4 +202,30 @@ def global_threshold_prune(
         mask = mask.reshape(layer.weight.shape)
         layer.set_weight_mask(mask * layer.weight_mask)
         offset += size
+    return model_prune_ratio(model)
+
+
+def uniform_threshold_prune(
+    model: Module, sensitivities: dict[str, np.ndarray], target_ratio: float
+) -> float:
+    """Shared per-layer unstructured step: the same fraction in every layer.
+
+    Each layer independently masks its ``round(target * size)``
+    lowest-sensitivity weights (already-masked weights sort to the bottom,
+    keeping the step monotone), so layerwise sparsity is uniform — the
+    "uniform" allocation policy of the registry.  Returns the achieved
+    model ratio, which can differ from the target only by per-layer
+    rounding.
+    """
+    for name, layer in prunable_layers(model):
+        size = layer.weight.size
+        n_prune = int(round(target_ratio * size))
+        if n_prune <= 0:
+            continue
+        s = sensitivities[name].reshape(-1).astype(np.float64).copy()
+        s[layer.weight_mask.reshape(-1) == 0] = -np.inf
+        drop = np.argpartition(s, n_prune - 1)[:n_prune]
+        mask = np.ones(size, dtype=np.float32)
+        mask[drop] = 0.0
+        layer.set_weight_mask(mask.reshape(layer.weight.shape) * layer.weight_mask)
     return model_prune_ratio(model)

@@ -1,0 +1,91 @@
+"""Control-arm baselines: uniform-magnitude and random-mask pruning.
+
+Blalock et al. ("What is the State of Neural Network Pruning?") argue that
+method comparisons are meaningless without standardized baselines.  These
+are the two control arms every fair comparison needs:
+
+- ``uniform`` — magnitude scoring with *per-layer uniform* allocation:
+  every layer prunes the same fraction of its own smallest weights.  The
+  registry sibling of WT (same scoring family, different allocation
+  policy); the gap between ``wt`` and ``uniform`` curves isolates what
+  global allocation buys.
+- ``random`` — seeded random scores with global allocation: the floor any
+  informed scoring family must beat.  The draw is deterministic in
+  (``seed``, cumulative pruned count), so iterative ladders re-draw fresh
+  randomness per step yet whole runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.base import (
+    PruneMethod,
+    global_threshold_prune,
+    uniform_threshold_prune,
+)
+from repro.pruning.mask import prunable_layers, pruned_weights
+from repro.pruning.registry import register_method
+from repro.pruning.spec import HyperParam
+
+
+@register_method(
+    "uniform",
+    scoring="magnitude",
+    allocation="uniform",
+    doc="per-layer uniform |W_ij| magnitude pruning (WT's layerwise sibling)",
+)
+class UniformMagnitude(PruneMethod):
+    """Per-layer uniform magnitude pruning (unstructured, data-free)."""
+
+    structured = False
+    data_informed = False
+
+    def _prune_step(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None,
+    ) -> float:
+        sensitivities = {
+            name: np.abs(layer.weight.data) for name, layer in prunable_layers(model)
+        }
+        return uniform_threshold_prune(model, sensitivities, target_ratio)
+
+
+@register_method(
+    "random",
+    scoring="random",
+    allocation="global",
+    hyperparams=(
+        HyperParam("seed", int, 0, low=0, doc="base seed of the score draw"),
+    ),
+    doc="seeded random-mask pruning (the control arm)",
+)
+class RandomPruning(PruneMethod):
+    """Seeded random pruning (unstructured, data-free)."""
+
+    structured = False
+    data_informed = False
+
+    def __init__(self, seed: int = 0, steps: int = 1):
+        super().__init__(steps=steps)
+        if seed < 0:
+            raise ValueError(f"seed must be >= 0, got {seed}")
+        self.seed = int(seed)
+
+    def _prune_step(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None,
+    ) -> float:
+        # Derive the step's stream from (seed, weights already pruned):
+        # deterministic under replay, fresh per step of an iterative ladder.
+        rng = np.random.default_rng([self.seed, pruned_weights(model)])
+        sensitivities = {
+            name: rng.random(layer.weight.shape)
+            for name, layer in prunable_layers(model)
+        }
+        return global_threshold_prune(model, sensitivities, target_ratio)

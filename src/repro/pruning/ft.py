@@ -2,8 +2,9 @@
 
 He et al. (2018) / Li et al. (2016) as used by Renda et al. (2020): the
 sensitivity of channel ``j`` is the ℓ1 norm of the weight column ``W_:j``,
-and layer allocation is a *uniform* prune ratio across layers (the paper
-deploys uniform allocation to avoid extra hyperparameters).
+and layer allocation is a *uniform* prune ratio across layers, bisected by
+the shared solver to meet the global weight target (the paper deploys
+uniform allocation to avoid extra hyperparameters).
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.pruning.base import PruneMethod
 from repro.pruning.mask import structured_prunable_layers
+from repro.pruning.registry import register_method
 from repro.pruning.structured import (
     apply_channel_counts,
     pruned_channels,
@@ -25,20 +27,24 @@ def channel_l1_sensitivity(weight: np.ndarray) -> np.ndarray:
     return np.abs(weight).sum(axis=(0, 2, 3))
 
 
+@register_method(
+    "ft",
+    scoring="channel_l1",
+    allocation="solver",
+    doc="structured ℓ1-norm channel pruning, uniform layer allocation",
+)
 class FilterThresholding(PruneMethod):
     """Structured ℓ1-norm channel pruning with uniform layer allocation."""
 
-    name = "ft"
     structured = True
     data_informed = False
 
-    def prune(
+    def _prune_step(
         self,
         model: Module,
         target_ratio: float,
-        sample_inputs: np.ndarray | None = None,
+        sample_inputs: np.ndarray | None,
     ) -> float:
-        self._validate(model, target_ratio)
         layers = dict(structured_prunable_layers(model))
         if not layers:
             raise ValueError("model has no structured-prunable conv layers")

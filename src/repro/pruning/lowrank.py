@@ -1,0 +1,138 @@
+"""ALDS-style low-rank layer decomposition (Liebenwein et al., 2021).
+
+The torchprune/ALDS role in this registry: each conv layer's weight is
+reshaped to the matrix ``M ∈ R^{F x C·KH·KW}`` and truncated-SVD'd.  With
+retained rank ``k = max(1, round(rank_frac · rank(M)))``:
+
+- **scoring** (``lowrank_energy``): channel ``j``'s sensitivity is the
+  squared Frobenius mass its ``KH·KW`` columns carry inside the rank-``k``
+  subspace, ``Σ_r Σ_kk (σ_r V[j·KK+kk, r])²`` — channels that live mostly
+  outside the dominant singular directions score low;
+- **allocation** (solver): a uniform channel fraction is bisected, exactly
+  as FT, until the masked-weight ratio meets the global target;
+- **decomposition** (``project=True``): after masking, each layer's
+  surviving weight is replaced by its best rank-``k`` approximation
+  ``U_k Σ_k V_kᵀ`` (re-masked, so pruned entries stay exactly zero).  This
+  is the mask-framework rendering of ALDS's two-factor replacement: the
+  network enters retraining spectrally compressed, while the parameter
+  accounting stays in terms of masked weights like every other structured
+  method.
+
+Data-free and structured; the prune *ratio* semantics are identical to
+FT/PFP so all downstream accounting (PR/FR tables, FLOP reductions,
+verify invariants) applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.base import PruneMethod
+from repro.pruning.mask import structured_prunable_layers
+from repro.pruning.registry import register_method
+from repro.pruning.spec import HyperParam
+from repro.pruning.structured import (
+    apply_channel_counts,
+    pruned_channels,
+    solve_counts_for_target,
+)
+
+
+def retained_rank(weight: np.ndarray, rank_frac: float) -> int:
+    """``max(1, round(rank_frac · min(F, C·KH·KW)))`` for a conv weight."""
+    f = weight.shape[0]
+    cols = int(np.prod(weight.shape[1:]))
+    return max(1, int(round(rank_frac * min(f, cols))))
+
+
+def lowrank_channel_energy(weight: np.ndarray, rank_frac: float) -> np.ndarray:
+    """Per-input-channel energy inside the truncated-SVD subspace.
+
+    For ``M = weight.reshape(F, C·KH·KW) = U Σ Vᵀ`` the energy of column
+    ``c`` under rank ``k`` is ``Σ_{r<k} (σ_r V[c, r])²``; channel ``j``
+    sums its ``KH·KW`` columns.  The total over all channels equals
+    ``Σ_{r<k} σ_r²``, the retained Frobenius mass.
+    """
+    f, c = weight.shape[0], weight.shape[1]
+    per_col = int(np.prod(weight.shape[2:])) if weight.ndim > 2 else 1
+    m = weight.reshape(f, c * per_col)
+    _, s, vt = np.linalg.svd(m, full_matrices=False)
+    k = retained_rank(weight, rank_frac)
+    col_energy = ((s[:k, None] ** 2) * (vt[:k] ** 2)).sum(axis=0)
+    return col_energy.reshape(c, per_col).sum(axis=1)
+
+
+def project_to_rank(weight: np.ndarray, rank_frac: float) -> np.ndarray:
+    """The best rank-``k`` approximation of the reshaped weight."""
+    shape = weight.shape
+    m = weight.reshape(shape[0], -1)
+    u, s, vt = np.linalg.svd(m, full_matrices=False)
+    k = retained_rank(weight, rank_frac)
+    recon = (u[:, :k] * s[:k]) @ vt[:k]
+    return recon.reshape(shape).astype(weight.dtype)
+
+
+@register_method(
+    "lowrank",
+    scoring="lowrank_energy",
+    allocation="solver",
+    hyperparams=(
+        HyperParam(
+            "rank_frac", float, 0.5, low=0.0, high=1.0, low_open=True,
+            doc="fraction of the full rank retained by the truncated SVD",
+        ),
+        HyperParam(
+            "project", bool, True,
+            doc="replace surviving weights by their rank-k reconstruction",
+        ),
+    ),
+    doc="ALDS-style truncated-SVD channel decomposition (structured)",
+)
+class LowRankDecomposition(PruneMethod):
+    """Structured low-rank decomposition via truncated SVD of conv weights."""
+
+    structured = True
+    data_informed = False
+
+    def __init__(self, rank_frac: float = 0.5, project: bool = True, steps: int = 1):
+        super().__init__(steps=steps)
+        if not 0.0 < rank_frac <= 1.0:
+            raise ValueError(f"rank_frac must be in (0, 1], got {rank_frac}")
+        self.rank_frac = float(rank_frac)
+        self.project = bool(project)
+
+    def _prune_step(
+        self,
+        model: Module,
+        target_ratio: float,
+        sample_inputs: np.ndarray | None,
+    ) -> float:
+        layers = dict(structured_prunable_layers(model))
+        if not layers:
+            raise ValueError("model has no structured-prunable conv layers")
+        sensitivities = {
+            name: lowrank_channel_energy(layer.weight.data, self.rank_frac)
+            for name, layer in layers.items()
+        }
+        already = {
+            name: int(pruned_channels(layer).sum()) for name, layer in layers.items()
+        }
+
+        def counts_at(q: float) -> dict[str, int]:
+            counts = {}
+            for name, layer in layers.items():
+                c = layer.in_channels
+                want = int(round(q * c))
+                counts[name] = int(np.clip(want, already[name], c - 1))
+            return counts
+
+        counts = solve_counts_for_target(model, target_ratio, counts_at)
+        achieved = apply_channel_counts(model, sensitivities, counts)
+        if self.project:
+            for layer in layers.values():
+                recon = project_to_rank(layer.weight.data, self.rank_frac)
+                # Re-masking keeps pruned entries exactly zero, so the
+                # mask/weight consistency invariant survives the projection.
+                layer.weight.data[...] = recon * layer.weight_mask
+        return achieved

@@ -19,7 +19,9 @@ import numpy as np
 from repro.nn.module import Module
 from repro.pruning.base import PruneMethod, collect_activation_stats
 from repro.pruning.mask import structured_prunable_layers
+from repro.pruning.registry import register_method
 from repro.pruning.sipp import relative_weight_sensitivity
+from repro.pruning.spec import HyperParam
 from repro.pruning.structured import (
     apply_channel_counts,
     pruned_channels,
@@ -33,30 +35,40 @@ def channel_linf_sensitivity(weight: np.ndarray, activation: np.ndarray) -> np.n
     return rel.max(axis=(0, 2, 3))
 
 
+@register_method(
+    "pfp",
+    scoring="channel_linf",
+    allocation="solver",
+    hyperparams=(
+        HyperParam(
+            "gamma", float, 1e-16, low=0.0, high=1.0, low_open=True, high_open=True,
+            doc="failure probability of the randomized construction",
+        ),
+    ),
+    doc="structured data-informed channel pruning, ε-budget allocation",
+)
 class ProvableFilterPruning(PruneMethod):
     """Structured, data-informed channel pruning with ε-budget allocation."""
 
-    name = "pfp"
     structured = True
     data_informed = True
 
-    def __init__(self, gamma: float = 1e-16):
+    def __init__(self, gamma: float = 1e-16, steps: int = 1):
+        super().__init__(steps=steps)
         if not 0 < gamma < 1:
             raise ValueError(f"gamma must be in (0, 1), got {gamma}")
         self.gamma = gamma
 
-    def prune(
+    def _prune_step(
         self,
         model: Module,
         target_ratio: float,
-        sample_inputs: np.ndarray | None = None,
+        sample_inputs: np.ndarray | None,
     ) -> float:
-        self._validate(model, target_ratio)
-        sample = self._require_sample(sample_inputs)
         layers = dict(structured_prunable_layers(model))
         if not layers:
             raise ValueError("model has no structured-prunable conv layers")
-        stats = collect_activation_stats(model, sample)
+        stats = collect_activation_stats(model, sample_inputs)
         smoothing = 1.0 / np.log(1.0 / self.gamma)
         sensitivities = {}
         for name, layer in layers.items():

@@ -26,6 +26,44 @@ from repro.utils.serialization import load_state, save_state
 DEFAULT_TARGET_RATIOS: tuple[float, ...] = (0.3, 0.5, 0.7, 0.85, 0.92, 0.96, 0.98)
 
 
+def sample_indices(labels: np.ndarray, size: int, seed: int) -> np.ndarray:
+    """A seeded shuffled sample of ``size`` indices, stratified by class.
+
+    With 1-D integer class labels the sample interleaves the classes
+    round-robin (each class's pool independently shuffled), so even
+    ``size < n_classes`` samples span as many classes as possible.  Dense
+    label maps (segmentation) fall back to a plain seeded shuffle.  The
+    result is a pure function of ``(labels, size, seed)`` — the property
+    artifact caches rely on.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    size = min(size, n)
+    rng = np.random.default_rng(seed)
+    if labels.ndim != 1 or not np.issubdtype(labels.dtype, np.integer):
+        return rng.permutation(n)[:size]
+    pools = []
+    for cls in np.unique(labels):
+        pool = np.flatnonzero(labels == cls)
+        pools.append(rng.permutation(pool))
+    order = rng.permutation(len(pools))
+    out: list[int] = []
+    depth = 0
+    while len(out) < size:
+        added = False
+        for p in order:
+            pool = pools[p]
+            if depth < len(pool):
+                out.append(int(pool[depth]))
+                added = True
+                if len(out) == size:
+                    break
+        if not added:  # pragma: no cover - size <= n guarantees progress
+            break
+        depth += 1
+    return np.array(out[:size], dtype=np.intp)
+
+
 @dataclass
 class PruneCheckpoint:
     """One point on the prune-accuracy curve."""
@@ -167,10 +205,26 @@ class PruneRetrain:
         self.sample_size = sample_size
         self.retrain_mode = retrain_mode
 
+    @property
+    def sample_seed(self) -> int:
+        """Seed of the sensitivity-sample draw (derived from the trainer's
+        config seed, so it is part of the run's deterministic identity)."""
+        return int(self.trainer.config.seed) + 0x5A11
+
     def _sample_inputs(self) -> np.ndarray:
+        """The sample batch S for data-informed methods.
+
+        A verbatim ``images[:sample_size]`` slice is biased on class-ordered
+        datasets — SiPP/FT/PFP would compute sensitivities from a
+        single-class sample — so the draw is a seeded shuffle, stratified
+        across classes where the labels allow it.  The seed derives from
+        the trainer config, keeping cached runs bit-reproducible.
+        """
         train = self.trainer.task.train_set()
-        batch = train.images[: self.sample_size]
-        return self.trainer.normalizer(batch)
+        idx = sample_indices(
+            train.labels, min(self.sample_size, len(train)), self.sample_seed
+        )
+        return self.trainer.normalizer(train.images[idx])
 
     def _rewind_weights(self, model: Module, parent_state: dict) -> None:
         """Reset surviving weights (and all other state) to parent values,
@@ -182,10 +236,24 @@ class PruneRetrain:
         for name, layer in prunable_layers(model):
             layer.set_weight_mask(masks[name])
 
+    def _finetune_lr_factor(self) -> float:
+        """The schedule factor of the *last step the trainer ever took*.
+
+        The trainer evaluates the schedule at fractional positions strictly
+        below ``epochs`` (the final step sits at ``epochs - 1/n_batches``);
+        evaluating at ``epochs`` itself is one step past that and, for a
+        piecewise schedule with a boundary exactly at ``epochs``, lands in
+        a decay region the original training never reached.
+        """
+        cfg = self.trainer.config
+        train = self.trainer.task.train_set()
+        n_batches = max(int(np.ceil(len(train) / cfg.batch_size)), 1)
+        last_position = max(cfg.epochs - 1.0 / n_batches, 1.0 / n_batches)
+        return cfg.schedule(last_position)
+
     def _retrain(self) -> None:
         if self.retrain_mode == "finetune":
-            cfg = self.trainer.config
-            final_factor = cfg.schedule(cfg.epochs)
+            final_factor = self._finetune_lr_factor()
             self.trainer.train(
                 self.retrain_epochs, schedule=lambda epoch: final_factor
             )
@@ -205,6 +273,14 @@ class PruneRetrain:
         ratios = sorted(target_ratios)
         if ratios and (ratios[0] <= 0 or ratios[-1] >= 1):
             raise ValueError(f"target ratios must lie in (0, 1), got {target_ratios}")
+        duplicates = sorted({r for i, r in enumerate(ratios[1:]) if r == ratios[i]})
+        if duplicates:
+            # A repeated target silently doubles the prune-retrain work and
+            # records duplicate checkpoints that skew downstream curves.
+            raise ValueError(
+                f"duplicate target ratios {duplicates} in {list(target_ratios)}; "
+                "each prune-retrain cycle must have a distinct target"
+            )
         model = self.trainer.model
         if train_parent:
             self.trainer.train()
@@ -216,7 +292,18 @@ class PruneRetrain:
             method_name=self.method.name,
             parent_state=model.state_dict(),
             parent_test_error=parent_error,
-            meta={"target_ratios": list(ratios)},
+            meta={
+                "target_ratios": list(ratios),
+                # The full method identity: canonical spec string plus the
+                # resolved hyperparameter bindings.  Saved runs are thereby
+                # reproducible from their metadata alone, and two
+                # hyperparameter settings can never share one artifact.
+                "method_spec": self.method.spec_string(),
+                "method_hyperparams": self.method.hyperparameters(),
+                "retrain_mode": self.retrain_mode,
+                "sample_size": self.sample_size,
+                "sample_seed": self.sample_seed,
+            },
         )
         observing = observe.enabled()
         base_flops = self._count_flops(model) if observing else 0

@@ -1,32 +1,182 @@
-"""Name-based construction of pruning methods."""
+"""The declarative pruning-method registry.
+
+Methods register themselves with the :func:`register_method` decorator,
+declaring the axes of their spec — scoring family x allocation policy x
+schedule — plus typed hyperparameters (see :mod:`repro.pruning.spec`).
+Everything downstream enumerates *this* registry instead of hard-coding
+method lists: the experiment grids, the CLI, the benchmark zoo manifest,
+and the serve registry all pick up a newly registered method with zero
+per-method special-casing.
+
+Methods are addressable as spec strings::
+
+    build_method("wt")                       # registered defaults
+    build_method("pfp(gamma=1e-12)")         # hyperparameter override
+    build_method("lowrank", rank_frac=0.25)  # kwargs merge into the spec
+
+``canonical_spec`` maps any accepted spelling onto the unique canonical
+string (lower-case, sorted kwargs, defaults omitted) used for artifact
+cache keys and ``PruneRun`` metadata.
+"""
 
 from __future__ import annotations
 
-from repro.pruning.base import PruneMethod
-from repro.pruning.ft import FilterThresholding
-from repro.pruning.pfp import ProvableFilterPruning
-from repro.pruning.sipp import SiPP
-from repro.pruning.wt import WeightThresholding
+from typing import Any
 
-_METHODS = {
-    "wt": WeightThresholding,
-    "sipp": SiPP,
-    "ft": FilterThresholding,
-    "pfp": ProvableFilterPruning,
-}
+from repro.pruning.spec import HyperParam, MethodSpec, SpecError, parse_spec
+
+_REGISTRY: dict[str, MethodSpec] = {}
+
+#: Every method shares the schedule knob: ``steps=1`` is one-shot within a
+#: single prune call; ``steps=N`` walks to the target in N equal fractions,
+#: re-scoring between sub-steps (the outer PRUNERETRAIN ladder remains the
+#: paper's iterative prune–retrain schedule).
+STEPS_PARAM = HyperParam(
+    "steps", int, 1, low=1, doc="sub-steps per prune call (re-scored)"
+)
+
+
+def register_method(
+    name: str,
+    *,
+    scoring: str,
+    allocation: str,
+    schedule: str = "oneshot",
+    hyperparams: tuple[HyperParam, ...] = (),
+    doc: str = "",
+):
+    """Class decorator registering a :class:`PruneMethod` under ``name``.
+
+    ``structured`` / ``data_informed`` are read off the class; the shared
+    ``steps`` schedule knob is appended to every spec automatically.
+    Each hyperparameter must be stored by ``__init__`` as an instance
+    attribute of the same name — that is how a live method instance is
+    serialized back into its spec string.
+    """
+
+    def deco(cls):
+        if name in _REGISTRY:
+            raise SpecError(f"method {name!r} is already registered")
+        params = tuple(hyperparams)
+        if all(hp.name != STEPS_PARAM.name for hp in params):
+            params += (STEPS_PARAM,)
+        spec = MethodSpec(
+            name=name,
+            scoring=scoring,
+            allocation=allocation,
+            schedule=schedule,
+            structured=bool(getattr(cls, "structured", False)),
+            data_informed=bool(getattr(cls, "data_informed", False)),
+            hyperparams=params,
+            factory=cls,
+            doc=doc or (cls.__doc__ or "").strip().split("\n", 1)[0],
+        )
+        cls.name = name
+        cls.spec = spec
+        _REGISTRY[name] = spec
+        return cls
+
+    return deco
+
+
+def unregister_method(name: str) -> None:
+    """Remove a registration (test hygiene for ad-hoc registrations)."""
+    _REGISTRY.pop(name, None)
 
 
 def available_methods() -> list[str]:
-    """Paper abbreviations of all registered pruning methods."""
-    return sorted(_METHODS)
+    """Canonical names of all registered pruning methods, sorted."""
+    return sorted(_REGISTRY)
 
 
-def build_method(name: str, **kwargs) -> PruneMethod:
-    """Instantiate a pruning method by its paper abbreviation."""
+def available_specs() -> list[MethodSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in available_methods()]
+
+
+def method_spec(name_or_spec: str) -> MethodSpec:
+    """The :class:`MethodSpec` behind a name or spec string."""
+    name, _ = parse_spec(name_or_spec)
     try:
-        cls = _METHODS[name.lower()]
+        return _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown pruning method {name!r}; available: {available_methods()}"
         ) from None
-    return cls(**kwargs)
+
+
+def build_method(name_or_spec: str, **kwargs):
+    """Instantiate a pruning method from a name or spec string.
+
+    Spec-string kwargs and explicit ``**kwargs`` are merged (explicit
+    kwargs win); every binding is validated against the spec's typed
+    hyperparameters.
+    """
+    name, spec_kwargs = parse_spec(name_or_spec)
+    spec = method_spec(name)
+    spec_kwargs.update(kwargs)
+    return spec.build(**spec_kwargs)
+
+
+def canonical_spec(name_or_spec: str, **kwargs) -> str:
+    """The unique canonical string for any accepted spec spelling.
+
+    ``canonical_spec("PFP(gamma=1e-16)")`` → ``"pfp"`` (the default is
+    elided); ``canonical_spec("lowrank", rank_frac=0.25)`` →
+    ``"lowrank(rank_frac=0.25)"``.  This is the form used in artifact
+    cache keys, ``PruneRun.meta``, and the serve registry.
+    """
+    name, spec_kwargs = parse_spec(name_or_spec)
+    spec = method_spec(name)
+    spec_kwargs.update(kwargs)
+    return spec.canonical(spec_kwargs)
+
+
+def spec_of(method) -> str:
+    """Canonical spec string of a *live* method instance.
+
+    Reads each declared hyperparameter back from the instance attribute
+    of the same name, so a directly constructed method (no registry
+    involved) still serializes to its exact spec.
+    """
+    spec: MethodSpec | None = getattr(type(method), "spec", None)
+    if spec is None:
+        return method.name
+    bound: dict[str, Any] = {}
+    for hp in spec.hyperparams:
+        if hasattr(method, hp.name):
+            bound[hp.name] = getattr(method, hp.name)
+    return spec.canonical(bound)
+
+
+def describe_methods() -> str:
+    """A rendered table of every registered spec (the ``methods`` CLI)."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for spec in available_specs():
+        params = ", ".join(
+            f"{hp.name}:{hp.kind.__name__}={hp.default!r}" for hp in spec.hyperparams
+        )
+        rows.append(
+            [
+                spec.name,
+                spec.scoring,
+                spec.allocation,
+                spec.schedule,
+                "structured" if spec.structured else "unstructured",
+                "yes" if spec.data_informed else "no",
+                params,
+            ]
+        )
+    return format_table(
+        ["Method", "Scoring", "Allocation", "Schedule", "Type", "Data", "Hyperparameters"],
+        rows,
+        title="Registered pruning methods (spec grammar: name(key=value, ...))",
+    )
+
+
+# The built-in registrations are side effects of importing the method
+# modules, which ``repro.pruning.__init__`` performs; importing this module
+# directly triggers the package __init__ first, so the registry is always
+# fully populated by the time any of the functions above run.

@@ -14,6 +14,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.pruning.base import PruneMethod, collect_activation_stats, global_threshold_prune
 from repro.pruning.mask import prunable_layers
+from repro.pruning.registry import register_method
 
 
 def relative_weight_sensitivity(
@@ -31,22 +32,25 @@ def relative_weight_sensitivity(
     return contrib / (denom + 1e-12)
 
 
+@register_method(
+    "sipp",
+    scoring="sensitivity",
+    allocation="global",
+    doc="global data-informed weight pruning (relative sensitivities)",
+)
 class SiPP(PruneMethod):
     """Global data-informed weight pruning."""
 
-    name = "sipp"
     structured = False
     data_informed = True
 
-    def prune(
+    def _prune_step(
         self,
         model: Module,
         target_ratio: float,
-        sample_inputs: np.ndarray | None = None,
+        sample_inputs: np.ndarray | None,
     ) -> float:
-        self._validate(model, target_ratio)
-        sample = self._require_sample(sample_inputs)
-        stats = collect_activation_stats(model, sample)
+        stats = collect_activation_stats(model, sample_inputs)
         sensitivities = {
             name: relative_weight_sensitivity(layer.weight.data, stats[name])
             for name, layer in prunable_layers(model)

@@ -1,0 +1,227 @@
+"""Declarative method specs: typed hyperparameters and the spec-string grammar.
+
+A pruning method is not a bare class name but a *composable spec*:
+
+    scoring family x allocation policy x schedule
+
+with typed hyperparameters.  Specs are addressable as strings —
+
+    "wt"                      the registered defaults
+    "pfp(gamma=1e-12)"        one overridden hyperparameter
+    "lowrank(rank_frac=0.5, steps=3)"
+
+— and every spec has a unique *canonical* form (lower-case name, sorted
+keyword arguments, defaults omitted) so the same method configuration
+always produces the same string.  The canonical string is what flows into
+``PruneRun.meta``, the zoo artifact cache key, and the serve registry
+keys: two different hyperparameter settings can never collide on one
+cache entry, and a saved artifact can be rebuilt from its metadata alone.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+#: Axes a registered spec must declare, and their allowed values.  They are
+#: metadata (used for docs, filtering, and sanity checks), not dispatch:
+#: the method class implements the combination it declares.
+SCORING_FAMILIES = (
+    "magnitude",  # |W_ij| (data-free)
+    "sensitivity",  # ∝ |W_ij a_j(x)| (data-informed)
+    "channel_l1",  # ‖W_:j‖₁ per channel (data-free, structured)
+    "channel_linf",  # ℓ∞ of relative sensitivities (data-informed, structured)
+    "lowrank_energy",  # per-channel energy in the truncated-SVD subspace
+    "random",  # seeded noise (the control arm)
+)
+ALLOCATION_POLICIES = (
+    "global",  # one threshold across all layers
+    "uniform",  # the same prune fraction in every layer
+    "solver",  # a scalar knob bisected to meet the global target
+)
+SCHEDULES = (
+    "oneshot",  # a single prune call goes straight to the target
+    "iterative",  # the target is approached in `steps` sub-steps, re-scoring
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_SPEC_RE = re.compile(r"^\s*(?P<name>[A-Za-z][A-Za-z0-9_]*)\s*(?:\((?P<args>.*)\))?\s*$", re.S)
+
+
+class SpecError(ValueError):
+    """A malformed spec string or an invalid hyperparameter binding."""
+
+
+@dataclass(frozen=True)
+class HyperParam:
+    """One typed hyperparameter of a pruning method.
+
+    ``kind`` is the Python type (``int``, ``float``, ``bool``, or ``str``);
+    ``low``/``high`` bound numeric values inclusively; ``low_open`` makes
+    the lower bound exclusive (e.g. PFP's ``gamma`` in (0, 1)).
+    """
+
+    name: str
+    kind: type
+    default: Any
+    low: float | None = None
+    high: float | None = None
+    low_open: bool = False
+    high_open: bool = False
+    doc: str = ""
+
+    def coerce(self, value: Any) -> Any:
+        """Validate (and minimally convert) ``value``; raise :class:`SpecError`."""
+        if self.kind is bool:
+            if not isinstance(value, bool):
+                raise SpecError(
+                    f"hyperparameter {self.name!r} expects bool, got {value!r}"
+                )
+            return value
+        if self.kind is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(
+                    f"hyperparameter {self.name!r} expects float, got {value!r}"
+                )
+            value = float(value)
+        elif self.kind is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(
+                    f"hyperparameter {self.name!r} expects int, got {value!r}"
+                )
+        elif self.kind is str:
+            if not isinstance(value, str):
+                raise SpecError(
+                    f"hyperparameter {self.name!r} expects str, got {value!r}"
+                )
+        else:  # pragma: no cover - registration-time error
+            raise SpecError(f"unsupported hyperparameter kind {self.kind!r}")
+        if self.low is not None and (value < self.low or (self.low_open and value == self.low)):
+            raise SpecError(
+                f"hyperparameter {self.name!r} must be "
+                f"{'>' if self.low_open else '>='} {self.low}, got {value!r}"
+            )
+        if self.high is not None and (value > self.high or (self.high_open and value == self.high)):
+            raise SpecError(
+                f"hyperparameter {self.name!r} must be "
+                f"{'<' if self.high_open else '<='} {self.high}, got {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """The declarative identity of one registered pruning method."""
+
+    name: str
+    scoring: str
+    allocation: str
+    schedule: str
+    structured: bool
+    data_informed: bool
+    hyperparams: tuple[HyperParam, ...] = ()
+    factory: Callable[..., Any] | None = field(default=None, compare=False, repr=False)
+    doc: str = ""
+
+    def __post_init__(self):
+        if not _NAME_RE.match(self.name):
+            raise SpecError(f"invalid method name {self.name!r}")
+        if self.scoring not in SCORING_FAMILIES:
+            raise SpecError(f"unknown scoring family {self.scoring!r}")
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise SpecError(f"unknown allocation policy {self.allocation!r}")
+        if self.schedule not in SCHEDULES:
+            raise SpecError(f"unknown schedule {self.schedule!r}")
+        seen = set()
+        for hp in self.hyperparams:
+            if hp.name in seen:
+                raise SpecError(f"duplicate hyperparameter {hp.name!r}")
+            seen.add(hp.name)
+
+    # -------------------------------------------------------------- binding
+    def param(self, name: str) -> HyperParam:
+        for hp in self.hyperparams:
+            if hp.name == name:
+                return hp
+        raise SpecError(
+            f"method {self.name!r} has no hyperparameter {name!r}; "
+            f"accepts: {sorted(hp.name for hp in self.hyperparams)}"
+        )
+
+    def defaults(self) -> dict[str, Any]:
+        return {hp.name: hp.default for hp in self.hyperparams}
+
+    def resolve(self, kwargs: Mapping[str, Any]) -> dict[str, Any]:
+        """Defaults overlaid with validated ``kwargs`` (full binding)."""
+        bound = self.defaults()
+        for key, value in kwargs.items():
+            bound[key] = self.param(key).coerce(value)
+        return bound
+
+    def build(self, **kwargs):
+        """Instantiate the method with validated hyperparameters."""
+        if self.factory is None:  # pragma: no cover - registration-time error
+            raise SpecError(f"method {self.name!r} has no factory")
+        return self.factory(**self.resolve(kwargs))
+
+    # ------------------------------------------------------------- strings
+    def canonical(self, kwargs: Mapping[str, Any] | None = None) -> str:
+        """The unique string form of this spec with ``kwargs`` applied.
+
+        Defaults are omitted and the remaining kwargs sorted, so every
+        distinct configuration has exactly one canonical string — the
+        property cache keys rely on.
+        """
+        bound = self.resolve(kwargs or {})
+        parts = [
+            f"{name}={format_value(bound[name])}"
+            for name in sorted(bound)
+            if bound[name] != self.param(name).default
+        ]
+        return self.name if not parts else f"{self.name}({', '.join(parts)})"
+
+
+def format_value(value: Any) -> str:
+    """Literal form of a hyperparameter value that round-trips via parse."""
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def parse_spec(text: str) -> tuple[str, dict[str, Any]]:
+    """``"lowrank(rank_frac=0.5)"`` → ``("lowrank", {"rank_frac": 0.5})``.
+
+    The grammar is ``name`` or ``name(key=value, ...)`` with Python
+    literals as values; the name is case-insensitive.  Raises
+    :class:`SpecError` on anything else.
+    """
+    if not isinstance(text, str):
+        raise SpecError(f"spec must be a string, got {text!r}")
+    match = _SPEC_RE.match(text)
+    if not match:
+        raise SpecError(f"malformed method spec {text!r}")
+    name = match.group("name").lower()
+    args = match.group("args")
+    if args is None:
+        return name, {}
+    try:
+        call = ast.parse(f"_({args})", mode="eval").body
+    except SyntaxError:
+        raise SpecError(f"malformed hyperparameters in spec {text!r}") from None
+    if not isinstance(call, ast.Call) or call.args:
+        raise SpecError(
+            f"spec {text!r}: hyperparameters must be keyword=literal pairs"
+        )
+    kwargs: dict[str, Any] = {}
+    for kw in call.keywords:
+        if kw.arg is None:
+            raise SpecError(f"spec {text!r}: ** expansion is not allowed")
+        try:
+            kwargs[kw.arg] = ast.literal_eval(kw.value)
+        except ValueError:
+            raise SpecError(
+                f"spec {text!r}: value of {kw.arg!r} must be a literal"
+            ) from None
+    return name, kwargs

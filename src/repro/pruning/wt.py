@@ -1,7 +1,10 @@
 """Weight Thresholding (WT): global magnitude pruning.
 
 Han et al. (2015) as re-purposed by Renda et al. (2020): the sensitivity of
-a weight is its magnitude, sorted globally across all prunable layers.
+a weight is its magnitude, sorted globally across all prunable layers.  In
+registry terms WT *is* the global-magnitude spec — scoring ``magnitude`` x
+allocation ``global``; its per-layer-uniform sibling is the ``uniform``
+baseline (:mod:`repro.pruning.baselines`).
 """
 
 from __future__ import annotations
@@ -11,22 +14,27 @@ import numpy as np
 from repro.nn.module import Module
 from repro.pruning.base import PruneMethod, global_threshold_prune
 from repro.pruning.mask import prunable_layers
+from repro.pruning.registry import register_method
 
 
+@register_method(
+    "wt",
+    scoring="magnitude",
+    allocation="global",
+    doc="global |W_ij| magnitude pruning (unstructured, data-free)",
+)
 class WeightThresholding(PruneMethod):
     """Global ``|W_ij|`` pruning (unstructured, data-free)."""
 
-    name = "wt"
     structured = False
     data_informed = False
 
-    def prune(
+    def _prune_step(
         self,
         model: Module,
         target_ratio: float,
-        sample_inputs: np.ndarray | None = None,
+        sample_inputs: np.ndarray | None,
     ) -> float:
-        self._validate(model, target_ratio)
         sensitivities = {
             name: np.abs(layer.weight.data) for name, layer in prunable_layers(model)
         }

@@ -246,14 +246,18 @@ BENCH_SHAPES = ((3, 8, 8), (3, 16, 16))
 BENCH_BATCH_SIZE = 32
 
 
-def _prune_half(model) -> None:
-    from repro.nn.prunable import PrunableWeightMixin
+BENCH_PRUNE_RATIO = 0.5
 
-    for module in model.modules():
-        if isinstance(module, PrunableWeightMixin):
-            weight = module.weight.data
-            cut = np.median(np.abs(weight))
-            module.set_weight_mask((np.abs(weight) > cut).astype(np.float32))
+
+def _bench_methods() -> list[str]:
+    """Every data-free registered method (the bench has no training data)."""
+    from repro.pruning import available_methods, method_spec
+
+    return [
+        name
+        for name in available_methods()
+        if not method_spec(name).data_informed
+    ]
 
 
 def _synthetic_safety(name: str, seed: int):
@@ -276,8 +280,16 @@ def build_bench_registry(
     budget_mb: float | None = 48.0,
     models: tuple[str, ...] = BENCH_MODELS,
 ) -> ModelZooRegistry:
-    """The serve-bench zoo: pruned registry models + synthetic safety."""
+    """The serve-bench zoo: pruned registry models + synthetic safety.
+
+    Each model is pruned to :data:`BENCH_PRUNE_RATIO` by a real registry
+    method — the bench cycles through every data-free family, so the
+    serving layer is exercised over the same masks (unstructured,
+    per-layer uniform, random, and structured low-rank) the experiments
+    produce, not a bespoke median cut.
+    """
     from repro.models.registry import build_model
+    from repro.pruning import build_method
 
     registry = ModelZooRegistry(
         memory_budget_bytes=(
@@ -285,11 +297,13 @@ def build_bench_registry(
         ),
         batch_size=BENCH_BATCH_SIZE,
     )
+    methods = _bench_methods()
     for i, name in enumerate(models):
+        method_name = methods[i % len(methods)]
         model = build_model(name, rng=np.random.default_rng(seed + i))
-        _prune_half(model)
+        build_method(method_name).prune(model, BENCH_PRUNE_RATIO)
         registry.register(
-            ModelKey(name, "wt", 0.5),
+            ModelKey(name, method_name, BENCH_PRUNE_RATIO),
             model,
             safety=_synthetic_safety(name, seed + i),
         )

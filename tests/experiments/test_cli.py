@@ -40,6 +40,26 @@ class TestCLI:
         assert "parent test error" in out
         assert "commensurate operating point" in out
 
+    @pytest.mark.parametrize("method", ["lowrank", "uniform", "random"])
+    def test_curve_command_new_families(self, tiny_cli, capsys, method):
+        """Acceptance: every new registry family produces a prune curve
+        end-to-end through the CLI."""
+        assert main(["curve", "--model", "resnet20", "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert method.upper() in out
+        assert "commensurate operating point" in out
+
+    def test_curve_command_spec_string_with_hyperparams(self, tiny_cli, capsys):
+        assert main(
+            ["curve", "--model", "resnet20", "--method", "lowrank(rank_frac=0.25)"]
+        ) == 0
+        assert "LOWRANK(RANK_FRAC=0.25)" in capsys.readouterr().out
+
+    def test_curve_command_rejects_unknown_method(self, tiny_cli, capsys):
+        with pytest.raises(SystemExit):
+            main(["curve", "--method", "frobnicate"])
+        assert "registered methods" in capsys.readouterr().err
+
     def test_potential_command_micro(self, tiny_cli, capsys):
         assert main(["potential", "--model", "resnet20", "--method", "wt"]) == 0
         out = capsys.readouterr().out
@@ -47,10 +67,37 @@ class TestCLI:
         assert "nominal" in out
 
     def test_tables_command_micro(self, tiny_cli, capsys):
-        assert main(["tables", "--model", "resnet20"]) == 0
+        assert main(["tables", "--model", "resnet20", "--methods", "wt,ft"]) == 0
         out = capsys.readouterr().out
         assert "PR/FR at commensurate accuracy" in out
         assert "train vs test distribution" in out
+        assert "WT" in out and "FT" in out
+
+    def test_tables_defaults_to_registry(self, monkeypatch):
+        """Without --methods the tables enumerate every registered method."""
+        import repro.__main__ as cli
+        from repro.pruning import available_methods
+
+        seen = []
+
+        def fake_table(task, models, methods, scale, **knobs):
+            from repro.experiments.summary_tables import resolve_method_names
+
+            seen.append(resolve_method_names(methods))
+            return [], ""
+
+        monkeypatch.setattr("repro.experiments.pr_fr_table", fake_table)
+        monkeypatch.setattr("repro.experiments.overparam_table", fake_table)
+        assert main(["tables"]) == 0
+        assert seen == [available_methods(), available_methods()]
+
+    def test_methods_command_lists_registry(self, capsys):
+        from repro.pruning import available_methods
+
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in available_methods():
+            assert name in out
 
 
 class TestResilienceCLI:

@@ -67,6 +67,25 @@ class TestZooSpec:
         scale = ExperimentScale()
         assert "parent" in ZooSpec(method_name=None).key(scale)
 
+    def test_method_name_canonicalized_at_construction(self):
+        """Any accepted spec spelling shares one artifact cache key."""
+        scale = ExperimentScale()
+        a = ZooSpec("cifar", "resnet20", "WT", 0, False)
+        b = ZooSpec("cifar", "resnet20", "wt(steps=1)", 0, False)
+        assert a.method_name == b.method_name == "wt"
+        assert a.key(scale) == b.key(scale)
+        assert a == b  # frozen-dataclass equality follows canonicalization
+
+    def test_distinct_hyperparams_distinct_keys(self):
+        scale = ExperimentScale()
+        a = ZooSpec("cifar", "resnet20", "lowrank", 0, False)
+        b = ZooSpec("cifar", "resnet20", "lowrank(rank_frac=0.25)", 0, False)
+        assert a.key(scale) != b.key(scale)
+
+    def test_unknown_method_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="unknown pruning method"):
+            ZooSpec("cifar", "resnet20", "frobnicate", 0, False)
+
 
 class TestSuites:
     def test_make_suite_tasks(self):
@@ -233,4 +252,21 @@ class TestMemoize:
         assert fn(1, jobs=4) == 1  # cache hit despite different jobs
         assert calls == [1]
         assert fn(2, jobs=4) == 2
+        assert len(calls) == 2
+
+    def test_normalize_canonicalizes_before_keying(self):
+        from repro.pruning import canonical_spec
+
+        calls = []
+
+        @memoize(normalize={"method_name": canonical_spec})
+        def fn(task, method_name):
+            calls.append(method_name)
+            return method_name
+
+        assert fn("cifar", "WT") == "wt"  # body sees the canonical form
+        assert fn("cifar", "wt(steps=1)") == "wt"  # cache hit, same entry
+        assert fn("cifar", method_name="wt") == "wt"  # kwarg spelling too
+        assert calls == ["wt"]
+        assert fn("cifar", "wt(steps=2)") == "wt(steps=2)"
         assert len(calls) == 2

@@ -1,0 +1,218 @@
+"""Low-rank decomposition and the baseline families: math, masks, oracles.
+
+Covers the three families added on top of the paper's four: ``lowrank``
+(ALDS-style truncated-SVD channel decomposition), ``uniform`` (per-layer
+magnitude), and ``random`` (seeded control arm) — plus the differential
+oracles (masked-forward equivalence, save/load round-trip) and a compiled
+inference-engine parity smoke over a lowrank-pruned model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pruning import (
+    LowRankDecomposition,
+    RandomPruning,
+    UniformMagnitude,
+    build_method,
+    model_prune_ratio,
+)
+from repro.pruning.lowrank import (
+    lowrank_channel_energy,
+    project_to_rank,
+    retained_rank,
+)
+from repro.pruning.mask import prunable_layers, structured_prunable_layers
+from repro.pruning.structured import pruned_channels
+from repro.verify.oracles import oracle_masked_forward, oracle_save_load_roundtrip
+
+from tests.conftest import make_tiny_cnn
+
+
+def batch(seed=0, shape=(4, 3, 8, 8)):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestLowRankMath:
+    def test_retained_rank_bounds(self):
+        w = np.zeros((8, 4, 3, 3))  # rank(M) = min(8, 36) = 8
+        assert retained_rank(w, 1.0) == 8
+        assert retained_rank(w, 0.5) == 4
+        assert retained_rank(w, 1e-9) == 1  # never below one direction
+
+    def test_energy_sums_to_retained_frobenius_mass(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3))
+        energy = lowrank_channel_energy(w, 0.5)
+        assert energy.shape == (5,)
+        m = w.reshape(6, -1)
+        s = np.linalg.svd(m, compute_uv=False)
+        k = retained_rank(w, 0.5)
+        np.testing.assert_allclose(energy.sum(), (s[:k] ** 2).sum(), rtol=1e-10)
+
+    def test_full_rank_energy_is_column_norms(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3))
+        energy = lowrank_channel_energy(w, 1.0)
+        expected = (w ** 2).sum(axis=(0, 2, 3))
+        np.testing.assert_allclose(energy, expected, rtol=1e-9)
+
+    def test_projection_is_best_rank_k(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3)).astype(np.float32)
+        recon = project_to_rank(w, 0.5)
+        assert recon.shape == w.shape and recon.dtype == w.dtype
+        k = retained_rank(w, 0.5)
+        s = np.linalg.svd(recon.reshape(6, -1).astype(np.float64), compute_uv=False)
+        # Rank collapsed to k: trailing singular values vanish.
+        assert s[k:].max() < 1e-5 * s[0]
+
+    def test_low_energy_channel_scores_low(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3))
+        w[:, 2] *= 1e-4  # channel 2 carries almost no mass
+        energy = lowrank_channel_energy(w, 0.5)
+        assert energy.argmin() == 2
+
+
+class TestLowRankMethod:
+    def test_prunes_whole_channels(self):
+        model = make_tiny_cnn()
+        LowRankDecomposition(rank_frac=0.5).prune(model, 0.4)
+        assert any(
+            pruned_channels(layer).any()
+            for _, layer in structured_prunable_layers(model)
+        )
+
+    def test_projection_preserves_mask_zeros(self):
+        model = make_tiny_cnn()
+        LowRankDecomposition(rank_frac=0.5, project=True).prune(model, 0.4)
+        for _, layer in prunable_layers(model):
+            np.testing.assert_array_equal(
+                layer.weight.data, layer.weight.data * layer.weight_mask
+            )
+
+    def test_project_false_keeps_original_weights(self):
+        model_a = make_tiny_cnn(seed=3)
+        model_b = make_tiny_cnn(seed=3)
+        LowRankDecomposition(rank_frac=0.5, project=False).prune(model_a, 0.4)
+        reference = {n: l.weight.data for n, l in prunable_layers(model_b)}
+        for name, layer in prunable_layers(model_a):
+            surviving = layer.weight_mask == 1
+            np.testing.assert_array_equal(
+                layer.weight.data[surviving], reference[name][surviving]
+            )
+
+    def test_projection_changes_surviving_weights(self):
+        model_a = make_tiny_cnn(seed=3)
+        model_b = make_tiny_cnn(seed=3)
+        LowRankDecomposition(rank_frac=0.25, project=True).prune(model_a, 0.4)
+        LowRankDecomposition(rank_frac=0.25, project=False).prune(model_b, 0.4)
+        diff = [
+            np.abs(a.weight.data - b.weight.data).max()
+            for (_, a), (_, b) in zip(
+                structured_prunable_layers(model_a),
+                structured_prunable_layers(model_b),
+            )
+        ]
+        assert max(diff) > 1e-6
+
+    def test_monotone_over_ladder(self):
+        model = make_tiny_cnn()
+        method = LowRankDecomposition(rank_frac=0.5)
+        method.prune(model, 0.3)
+        masks = {n: l.weight_mask.copy() for n, l in prunable_layers(model)}
+        method.prune(model, 0.6)
+        for n, l in prunable_layers(model):
+            assert not ((masks[n] == 0) & (l.weight_mask == 1)).any()
+
+
+class TestBaselines:
+    def test_uniform_same_fraction_per_layer(self):
+        model = make_tiny_cnn()
+        UniformMagnitude().prune(model, 0.5)
+        for _, layer in prunable_layers(model):
+            layer_ratio = 1.0 - layer.weight_mask.mean()
+            assert layer_ratio == pytest.approx(0.5, abs=0.5 / layer.weight.size + 1e-9)
+
+    def test_uniform_prunes_smallest_per_layer(self, rng):
+        from repro import nn
+
+        big = nn.Linear(4, 2, bias=False, rng=rng)
+        small = nn.Linear(4, 2, bias=False, rng=rng)
+        big.weight.data[:] = np.arange(1, 9).reshape(2, 4)
+        small.weight.data[:] = np.arange(1, 9).reshape(2, 4) * 1e-3
+        model = nn.Sequential(big, small)
+        UniformMagnitude().prune(model, 0.5)
+        # Global magnitude would wipe `small` entirely; uniform takes the
+        # lowest half of each layer independently.
+        np.testing.assert_array_equal(big.weight_mask, [[0, 0, 0, 0], [1, 1, 1, 1]])
+        np.testing.assert_array_equal(small.weight_mask, [[0, 0, 0, 0], [1, 1, 1, 1]])
+
+    def test_random_is_seed_deterministic(self):
+        masks = []
+        for _ in range(2):
+            model = make_tiny_cnn(seed=2)
+            RandomPruning(seed=11).prune(model, 0.6)
+            masks.append({n: l.weight_mask.copy() for n, l in prunable_layers(model)})
+        for name in masks[0]:
+            np.testing.assert_array_equal(masks[0][name], masks[1][name])
+
+    def test_random_seeds_differ(self):
+        model_a = make_tiny_cnn(seed=2)
+        model_b = make_tiny_cnn(seed=2)
+        RandomPruning(seed=0).prune(model_a, 0.6)
+        RandomPruning(seed=1).prune(model_b, 0.6)
+        same = all(
+            np.array_equal(a.weight_mask, b.weight_mask)
+            for (_, a), (_, b) in zip(
+                prunable_layers(model_a), prunable_layers(model_b)
+            )
+        )
+        assert not same
+
+    def test_random_ladder_redraws_fresh(self):
+        model = make_tiny_cnn(seed=2)
+        method = RandomPruning(seed=0)
+        method.prune(model, 0.3)
+        masks = {n: l.weight_mask.copy() for n, l in prunable_layers(model)}
+        method.prune(model, 0.6)
+        # Monotone and strictly more pruned.
+        for n, l in prunable_layers(model):
+            assert not ((masks[n] == 0) & (l.weight_mask == 1)).any()
+        assert model_prune_ratio(model) == pytest.approx(0.6, abs=0.01)
+
+
+NEW_FAMILIES = ["lowrank", "uniform", "random"]
+
+
+class TestOracles:
+    @pytest.mark.parametrize("name", NEW_FAMILIES)
+    def test_masked_forward_equivalence(self, name):
+        model = make_tiny_cnn()
+        build_method(name).prune(model, 0.5)
+        report = oracle_masked_forward(model, batch())
+        assert report.passed, report.summary()
+
+    @pytest.mark.parametrize("name", NEW_FAMILIES)
+    def test_state_save_load_roundtrip(self, name):
+        model = make_tiny_cnn()
+        method = build_method(name)
+        method.prune(model, 0.5)
+        report = oracle_save_load_roundtrip(
+            model.state_dict(), {"method_spec": method.spec_string()}
+        )
+        assert report.passed, report.summary()
+
+
+class TestEngineParity:
+    def test_compiled_engine_matches_module_for_lowrank(self):
+        from repro.autograd import Tensor, no_grad
+        from repro.infer import InferenceEngine
+
+        model = make_tiny_cnn()
+        build_method("lowrank(rank_frac=0.5)").prune(model, 0.4)
+        images = batch(seed=5, shape=(6, 3, 8, 8))
+        engine = InferenceEngine(model, batch_size=8)
+        got = engine.logits(images)
+        model.eval()
+        with no_grad():
+            want = model(Tensor(images)).data
+        np.testing.assert_allclose(got, want, atol=1e-4)
+        assert engine.compiled_for(images)

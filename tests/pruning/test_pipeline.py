@@ -11,6 +11,7 @@ from repro.pruning import (
     build_method,
     model_prune_ratio,
 )
+from repro.pruning.pipeline import sample_indices
 
 from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
 
@@ -27,10 +28,12 @@ def small_run():
 
 
 class TestRegistry:
-    def test_four_methods(self):
-        assert available_methods() == ["ft", "pfp", "sipp", "wt"]
+    def test_registered_methods(self):
+        assert available_methods() == [
+            "ft", "lowrank", "pfp", "random", "sipp", "uniform", "wt",
+        ]
 
-    @pytest.mark.parametrize("name", ["wt", "sipp", "ft", "pfp"])
+    @pytest.mark.parametrize("name", available_methods())
     def test_build(self, name):
         method = build_method(name)
         assert method.name == name
@@ -71,6 +74,30 @@ class TestRun:
         run, _ = small_run
         assert run.meta["target_ratios"] == [0.3, 0.6]
 
+    def test_meta_records_method_spec(self, small_run):
+        """Regression: the full method identity must live in the artifact,
+        not just the bare name."""
+        run, _ = small_run
+        assert run.meta["method_spec"] == "wt"
+        assert run.meta["method_hyperparams"] == {"steps": 1}
+        assert run.meta["retrain_mode"] == "lr_rewind"
+        assert run.meta["sample_size"] == 128
+        assert isinstance(run.meta["sample_seed"], int)
+
+    def test_meta_spec_captures_hyperparameters(self):
+        suite = make_tiny_suite(seed=9)
+        model = make_tiny_cnn(seed=9)
+        trainer = make_tiny_trainer(model, suite, epochs=1, seed=9)
+        trainer.train()
+        pipeline = PruneRetrain(
+            trainer, build_method("random(seed=5)"), retrain_epochs=0
+        )
+        run = pipeline.run(target_ratios=[0.5])
+        assert run.meta["method_spec"] == "random(seed=5)"
+        assert run.meta["method_hyperparams"] == {"seed": 5, "steps": 1}
+        rebuilt = build_method(run.meta["method_spec"])
+        assert rebuilt.seed == 5
+
 
 class TestRunValidation:
     def test_rejects_pruned_start(self):
@@ -89,6 +116,15 @@ class TestRunValidation:
         with pytest.raises(ValueError, match="target ratios"):
             pipeline.run(target_ratios=[0.5, 1.0])
 
+    def test_duplicate_targets_raise(self):
+        """Regression: a repeated target silently doubled the prune-retrain
+        work and produced duplicate checkpoints."""
+        suite = make_tiny_suite(seed=5)
+        trainer = make_tiny_trainer(make_tiny_cnn(seed=5), suite, epochs=1)
+        pipeline = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=1)
+        with pytest.raises(ValueError, match="duplicate target ratios"):
+            pipeline.run(target_ratios=[0.3, 0.6, 0.3])
+
     def test_targets_sorted_internally(self):
         suite = make_tiny_suite(seed=6)
         trainer = make_tiny_trainer(make_tiny_cnn(seed=6), suite, epochs=1, seed=6)
@@ -96,6 +132,55 @@ class TestRunValidation:
         pipeline = PruneRetrain(trainer, WeightThresholding(), retrain_epochs=0)
         run = pipeline.run(target_ratios=[0.6, 0.3])
         assert run.checkpoints[0].target_ratio == 0.3
+
+
+class TestSampleInputs:
+    def test_sample_indices_stratified_on_sorted_labels(self):
+        labels = np.repeat(np.arange(4), 25)  # class-ordered, worst case
+        idx = sample_indices(labels, 12, seed=0)
+        counts = np.bincount(labels[idx], minlength=4)
+        np.testing.assert_array_equal(counts, [3, 3, 3, 3])
+
+    def test_sample_indices_small_sample_spans_classes(self):
+        labels = np.repeat(np.arange(8), 10)
+        idx = sample_indices(labels, 4, seed=1)
+        assert len(np.unique(labels[idx])) == 4  # four distinct classes
+
+    def test_sample_indices_pure_function_of_seed(self):
+        labels = np.repeat(np.arange(4), 25)
+        np.testing.assert_array_equal(
+            sample_indices(labels, 12, 5), sample_indices(labels, 12, 5)
+        )
+        assert not np.array_equal(
+            sample_indices(labels, 12, 5), sample_indices(labels, 12, 6)
+        )
+
+    def test_sample_indices_dense_label_fallback(self):
+        labels = np.zeros((10, 4, 4), dtype=np.int64)  # segmentation maps
+        idx = sample_indices(labels, 4, 0)
+        assert len(idx) == 4
+        assert len(set(idx.tolist())) == 4
+
+    def test_pipeline_sample_is_not_the_head_slice(self):
+        """Regression: the sensitivity sample was ``images[:sample_size]``
+        verbatim — biased to a single class on class-ordered data."""
+        suite = make_tiny_suite(seed=8)
+        model = make_tiny_cnn(seed=8)
+        trainer = make_tiny_trainer(model, suite, epochs=1, seed=8)
+        pipeline = PruneRetrain(
+            trainer, WeightThresholding(), retrain_epochs=1, sample_size=16
+        )
+        train = suite.train_set()
+        sample = pipeline._sample_inputs()
+        head = trainer.normalizer(train.images[:16])
+        assert sample.shape == head.shape
+        assert not np.array_equal(sample, head)
+        # Deterministic: the draw is a pure function of the trainer seed.
+        np.testing.assert_array_equal(sample, pipeline._sample_inputs())
+        expected = trainer.normalizer(
+            train.images[sample_indices(train.labels, 16, pipeline.sample_seed)]
+        )
+        np.testing.assert_array_equal(sample, expected)
 
 
 class TestSaveLoad:
@@ -120,3 +205,11 @@ class TestSaveLoad:
         model = make_tiny_cnn(seed=4)
         loaded.restore(model, 0)
         assert model_prune_ratio(model) == pytest.approx(0.3, abs=0.01)
+
+    def test_method_spec_survives_roundtrip(self, small_run, tmp_path):
+        """Regression: method hyperparameters were lost from saved artifacts."""
+        run, _ = small_run
+        loaded = PruneRun.load(run.save(tmp_path / "run3"))
+        assert loaded.meta["method_spec"] == run.meta["method_spec"]
+        assert loaded.meta["method_hyperparams"] == run.meta["method_hyperparams"]
+        assert loaded.meta["sample_seed"] == run.meta["sample_seed"]

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.optim import MultiStepLR
 from repro.pruning import PruneRetrain, WeightThresholding, model_prune_ratio
 from repro.pruning.mask import prunable_layers
+from repro.training import TrainConfig, Trainer
 
 from tests.conftest import make_tiny_cnn, make_tiny_suite, make_tiny_trainer
 
@@ -64,8 +66,32 @@ class TestWeightRewind:
 class TestFinetune:
     def test_finetune_uses_decayed_lr(self):
         pipeline, model = build("finetune", retrain_epochs=1)
-        cfg = pipeline.trainer.config
-        final_factor = cfg.schedule(cfg.epochs)
+        final_factor = pipeline._finetune_lr_factor()
         assert final_factor < 1.0  # the tiny trainer decays at 75% of epochs
         run = pipeline.run(target_ratios=[0.4])
         assert len(run.checkpoints) == 1
+
+    def test_factor_is_last_trainer_step_not_epochs(self):
+        """Regression: the finetune LR must be the schedule at the last
+        position the trainer ever evaluated (``epochs - 1/n_batches``), not
+        at ``epochs`` itself.  A step boundary exactly at ``epochs`` is one
+        step past the end of training — the decayed region was never
+        reached, so finetuning must not start there."""
+        suite = make_tiny_suite(seed=13)
+        model = make_tiny_cnn(seed=13)
+        config = TrainConfig(
+            epochs=2,
+            batch_size=32,
+            lr=0.05,
+            warmup_epochs=0.25,
+            schedule=MultiStepLR([2.0], 0.1),  # boundary exactly at epochs
+            seed=13,
+        )
+        trainer = Trainer(model, suite, config)
+        pipeline = PruneRetrain(
+            trainer, WeightThresholding(), retrain_epochs=1, retrain_mode="finetune"
+        )
+        # One step past the end the schedule *has* decayed...
+        assert config.schedule(config.epochs) == pytest.approx(0.1)
+        # ...but the last step the trainer took had not.
+        assert pipeline._finetune_lr_factor() == pytest.approx(1.0)
